@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at a reduced,
+laptop-friendly scale and asserts the qualitative *shape* of the result
+(who wins, by roughly what factor) rather than absolute numbers.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The printed ``extra_info`` of each benchmark contains the reproduced rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Scale knobs shared by all benchmarks.  Kept deliberately small so the whole
+#: suite finishes in a few minutes; raise them for closer-to-paper runs.
+BENCH_SETTINGS = {
+    "n_points_small": 120,
+    "n_points_medium": 200,
+    "n_queries": 3,
+    "seed": 7,
+}
+
+
+@pytest.fixture(scope="session")
+def bench_settings():
+    return dict(BENCH_SETTINGS)

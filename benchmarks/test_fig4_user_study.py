@@ -1,0 +1,50 @@
+"""Benchmark: Figure 4 — crowd accuracy heat map per distance-bucket pair."""
+
+import numpy as np
+
+from repro.experiments import fig4_user_study
+
+
+def test_fig4_user_study(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        fig4_user_study.run,
+        kwargs={
+            "n_points": bench_settings["n_points_small"],
+            "n_buckets": 6,
+            "queries_per_cell": 5,
+            "seed": bench_settings["seed"],
+        },
+        iterations=1,
+        rounds=1,
+    )
+    # Shape check: the diagonal (same-bucket queries) is the noisiest region,
+    # far-apart buckets approach perfect accuracy (Figure 4's key message).
+    for dataset in ("caltech", "amazon"):
+        rows = result.filter(dataset=dataset)
+        diag = [r["accuracy"] for r in rows if r["bucket_left"] == r["bucket_right"]]
+        far = [
+            r["accuracy"]
+            for r in rows
+            if abs(r["bucket_left"] - r["bucket_right"]) >= 3
+        ]
+        assert np.mean(far) > np.mean(diag)
+    # caltech (adversarial-like) has a cleaner off-diagonal than amazon
+    # (probabilistic-like), mirroring the sharp cut-off the paper observes.
+    caltech_far = np.mean(
+        [
+            r["accuracy"]
+            for r in result.filter(dataset="caltech")
+            if abs(r["bucket_left"] - r["bucket_right"]) >= 3
+        ]
+    )
+    amazon_far = np.mean(
+        [
+            r["accuracy"]
+            for r in result.filter(dataset="amazon")
+            if abs(r["bucket_left"] - r["bucket_right"]) >= 3
+        ]
+    )
+    assert caltech_far >= amazon_far - 0.02
+    benchmark.extra_info["rows"] = len(result.rows)
+    benchmark.extra_info["caltech_far_accuracy"] = round(float(caltech_far), 3)
+    benchmark.extra_info["amazon_far_accuracy"] = round(float(amazon_far), 3)

@@ -1,0 +1,35 @@
+"""Benchmark: Figure 5 — farthest / NN quality under the simulated crowd oracle."""
+
+import numpy as np
+
+from repro.experiments import fig5_crowd_far_nn
+
+
+def test_fig5_crowd_far_nn(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        fig5_crowd_far_nn.run,
+        kwargs={
+            "n_points": bench_settings["n_points_small"],
+            "n_queries": bench_settings["n_queries"],
+            "seed": bench_settings["seed"],
+        },
+        iterations=1,
+        rounds=1,
+    )
+    # Shape check (Figure 5): our algorithms track the optimum closely on the
+    # farthest task across datasets (normalised distance near 1, higher is
+    # better), and on the NN task they are never far behind the baselines.
+    farthest_ours = result.column("normalized_distance", task="farthest", method="ours")
+    assert np.mean(farthest_ours) > 0.6
+    for dataset in ("cities", "caltech", "monuments", "amazon"):
+        ours = result.column(
+            "normalized_distance", task="nearest", method="ours", dataset=dataset
+        )[0]
+        samp = result.column(
+            "normalized_distance", task="nearest", method="samp", dataset=dataset
+        )[0]
+        # Samp's sample rarely contains the true nearest neighbour (lower is
+        # better here), so ours should not be noticeably worse than Samp.
+        assert ours <= samp * 2.0 + 1e-9
+    benchmark.extra_info["mean_farthest_ours"] = round(float(np.mean(farthest_ours)), 3)
+    benchmark.extra_info["rows"] = len(result.rows)

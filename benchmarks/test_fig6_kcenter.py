@@ -1,0 +1,48 @@
+"""Benchmark: Figure 6 — k-center objective versus k under both noise models."""
+
+import numpy as np
+
+from repro.experiments import fig6_kcenter_objective
+
+
+def test_fig6_kcenter_adversarial(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        fig6_kcenter_objective.run,
+        kwargs={
+            "n_points": bench_settings["n_points_medium"],
+            "k_values": (5, 10, 20),
+            "panels": (("cities", "adversarial", 1.0), ("dblp", "adversarial", 0.5)),
+            "seed": bench_settings["seed"],
+        },
+        iterations=1,
+        rounds=1,
+    )
+    # Shape check (Figure 6a/b): kC stays within a small factor of TDist for
+    # every k, and the gap does not blow up as k grows.
+    ratios = result.column("objective_vs_tdist", method="kc")
+    assert np.mean(ratios) < 4.0
+    assert max(ratios) < 8.0
+    benchmark.extra_info["kc_mean_ratio_vs_tdist"] = round(float(np.mean(ratios)), 3)
+    benchmark.extra_info["rows"] = len(result.rows)
+
+
+def test_fig6_kcenter_probabilistic(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        fig6_kcenter_objective.run,
+        kwargs={
+            "n_points": bench_settings["n_points_medium"],
+            "k_values": (5, 10),
+            "panels": (("cities", "probabilistic", 0.1), ("dblp", "probabilistic", 0.1)),
+            "seed": bench_settings["seed"],
+        },
+        iterations=1,
+        rounds=1,
+    )
+    # Shape check (Figure 6c/d): under probabilistic noise kC is considerably
+    # better than Samp on average, and close to TDist.
+    kc = np.mean(result.column("objective_vs_tdist", method="kc"))
+    samp = np.mean(result.column("objective_vs_tdist", method="samp"))
+    assert kc <= samp * 1.25 + 1e-9
+    assert kc < 6.0
+    benchmark.extra_info["kc_mean_ratio"] = round(float(kc), 3)
+    benchmark.extra_info["samp_mean_ratio"] = round(float(samp), 3)

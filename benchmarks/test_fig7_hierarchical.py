@@ -1,0 +1,36 @@
+"""Benchmark: Figure 7 — hierarchical clustering merge quality under the crowd oracle."""
+
+import numpy as np
+
+from repro.experiments import fig7_hierarchical
+
+
+def test_fig7_hierarchical(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        fig7_hierarchical.run,
+        kwargs={
+            "n_points": 45,
+            "seed": bench_settings["seed"],
+        },
+        iterations=1,
+        rounds=1,
+    )
+    # Shape check (Figure 7): HC's average merge distance stays close to the
+    # exact algorithm's (ratio near 1) for both linkage objectives, and it is
+    # never substantially worse than the baselines.
+    for linkage in ("single", "complete"):
+        hc = np.mean(result.column("normalized_vs_tdist", method="hc", linkage=linkage))
+        samp = np.mean(result.column("normalized_vs_tdist", method="samp", linkage=linkage))
+        assert hc < 3.0
+        assert hc <= samp * 1.5 + 1e-9
+    # On the low-noise monuments dataset all techniques look similar.
+    monuments = [
+        r["normalized_vs_tdist"]
+        for r in result.filter(dataset="monuments", linkage="single")
+        if r["method"] != "tdist"
+    ]
+    assert np.max(monuments) < 3.5
+    benchmark.extra_info["rows"] = len(result.rows)
+    benchmark.extra_info["hc_mean_single"] = round(
+        float(np.mean(result.column("normalized_vs_tdist", method="hc", linkage="single"))), 3
+    )

@@ -1,0 +1,42 @@
+"""Benchmark: Figure 8 — farthest-point quality versus synthetic noise level."""
+
+import numpy as np
+
+from repro.experiments import fig8_farthest_noise
+
+
+def test_fig8_farthest_noise(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        fig8_farthest_noise.run,
+        kwargs={
+            "n_points": bench_settings["n_points_medium"],
+            "mu_values": (0.0, 0.5, 1.0, 2.0),
+            "p_values": (0.0, 0.1, 0.3),
+            "n_queries": bench_settings["n_queries"],
+            "seed": bench_settings["seed"],
+        },
+        iterations=1,
+        rounds=1,
+    )
+    # Shape checks from Figure 8:
+    # (a) with no noise, Far and Tour2 find the exact farthest point;
+    assert result.filter(noise="adversarial", level=0.0, method="ours")[0][
+        "normalized_distance"
+    ] == 1.0
+    assert result.filter(noise="adversarial", level=0.0, method="tour2")[0][
+        "normalized_distance"
+    ] == 1.0
+    # (b) Far stays within the theoretical factor at every adversarial level;
+    for level in (0.5, 1.0, 2.0):
+        ours = result.filter(noise="adversarial", level=level, method="ours")[0][
+            "normalized_distance"
+        ]
+        assert ours >= 1.0 / (1 + level) ** 3 - 0.05
+    # (c) under probabilistic noise Far remains close to the optimum.
+    prob_ours = [
+        r["normalized_distance"]
+        for r in result.filter(noise="probabilistic", method="ours")
+    ]
+    assert np.mean(prob_ours) > 0.5
+    benchmark.extra_info["rows"] = len(result.rows)
+    benchmark.extra_info["prob_mean_ours"] = round(float(np.mean(prob_ours)), 3)

@@ -1,0 +1,36 @@
+"""Benchmark: Figure 9 — nearest-neighbour quality versus synthetic noise level."""
+
+import numpy as np
+
+from repro.experiments import fig9_nn_noise
+
+
+def test_fig9_nn_noise(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        fig9_nn_noise.run,
+        kwargs={
+            "n_points": bench_settings["n_points_medium"],
+            "mu_values": (0.0, 0.5, 1.0, 2.0),
+            "p_values": (0.0, 0.1, 0.3),
+            "n_queries": bench_settings["n_queries"],
+            "seed": bench_settings["seed"],
+        },
+        iterations=1,
+        rounds=1,
+    )
+    # Shape checks from Figure 9 (lower is better, optimum is 1):
+    # (a) with no noise NN finds the exact nearest neighbour;
+    assert result.filter(noise="adversarial", level=0.0, method="ours")[0][
+        "normalized_distance"
+    ] == 1.0
+    # (b) NN's quality does not blow up as noise grows (the paper reports it
+    #     staying flat while Tour2 and especially Samp degrade);
+    ours_all = [r["normalized_distance"] for r in result.filter(method="ours")]
+    samp_all = [r["normalized_distance"] for r in result.filter(method="samp")]
+    assert np.mean(ours_all) <= np.mean(samp_all) + 1e-9
+    # (c) Samp is clearly the worst technique for NN (the paper omits it from
+    #     the plot because of this).
+    assert np.mean(samp_all) > np.mean(ours_all)
+    benchmark.extra_info["ours_mean"] = round(float(np.mean(ours_all)), 3)
+    benchmark.extra_info["samp_mean"] = round(float(np.mean(samp_all)), 3)
+    benchmark.extra_info["rows"] = len(result.rows)

@@ -1,0 +1,37 @@
+"""Benchmark: Table 1 — F-score of k-center clusterings against ground truth."""
+
+import numpy as np
+
+from repro.experiments import table1_fscore
+
+
+def test_table1_fscore(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        table1_fscore.run,
+        kwargs={
+            "n_points": bench_settings["n_points_small"],
+            "rows": (
+                ("caltech", 10),
+                ("caltech", 15),
+                ("monuments", 5),
+                ("amazon", 7),
+            ),
+            "seed": bench_settings["seed"],
+        },
+        iterations=1,
+        rounds=1,
+    )
+    kc_scores = result.column("fscore", method="kc")
+    oq_scores = result.column("fscore", method="oq")
+    tour2_scores = result.column("fscore", method="tour2")
+    samp_scores = result.column("fscore", method="samp")
+    # Shape checks from Table 1: kC is the best technique on average, and the
+    # pairwise optimal-cluster-query baseline collapses well below it.
+    assert np.mean(kc_scores) > 0.5
+    assert np.mean(kc_scores) >= np.mean(oq_scores)
+    assert np.mean(kc_scores) >= np.mean(samp_scores) - 0.05
+    assert np.mean(kc_scores) >= np.mean(tour2_scores) - 0.05
+    benchmark.extra_info["kc_mean_fscore"] = round(float(np.mean(kc_scores)), 3)
+    benchmark.extra_info["tour2_mean_fscore"] = round(float(np.mean(tour2_scores)), 3)
+    benchmark.extra_info["samp_mean_fscore"] = round(float(np.mean(samp_scores)), 3)
+    benchmark.extra_info["oq_mean_fscore"] = round(float(np.mean(oq_scores)), 3)

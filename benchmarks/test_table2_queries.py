@@ -1,0 +1,43 @@
+"""Benchmark: Table 2 — running time and #quadruplet comparisons on the dblp stand-in."""
+
+from repro.experiments import table2_queries
+
+
+def test_table2_queries(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        table2_queries.run,
+        kwargs={
+            "n_points": bench_settings["n_points_medium"],
+            "mu": 1.0,
+            "k": 5,
+            "linkage_points": 50,
+            "seed": bench_settings["seed"],
+        },
+        iterations=1,
+        rounds=1,
+    )
+    by_key = {(r["problem"], r["method"]): r for r in result.rows}
+    # Shape checks from Table 2:
+    # every problem/method pair produced a row;
+    assert len(by_key) == 15
+    # farthest / nearest use far fewer comparisons than k-center, which in
+    # turn uses fewer than the quadratic linkage problems (per point);
+    assert (
+        by_key[("farthest", "ours")]["n_comparisons"]
+        < by_key[("kcenter", "ours")]["n_comparisons"]
+    )
+    # ours and Tour2 are in the same ballpark for farthest (the paper reports
+    # 2.2M vs 2M), while Samp uses fewer;
+    ours_far = by_key[("farthest", "ours")]["n_comparisons"]
+    tour2_far = by_key[("farthest", "tour2")]["n_comparisons"]
+    samp_far = by_key[("farthest", "samp")]["n_comparisons"]
+    assert samp_far < ours_far
+    assert ours_far < 20 * tour2_far
+    # linkage rows either completed or were marked DNF (Tour2 at full scale).
+    for problem in ("single_linkage", "complete_linkage"):
+        for method in ("ours", "samp"):
+            assert by_key[(problem, method)]["status"] == "ok"
+    for (problem, method), row in by_key.items():
+        benchmark.extra_info[f"{problem}/{method}"] = (
+            row["n_comparisons"] if row["status"] == "ok" else "DNF"
+        )

@@ -1,0 +1,10 @@
+"""Setup shim for environments where PEP 517 editable installs are unavailable.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-build-isolation --no-use-pep517`` on machines without
+the ``wheel`` package (e.g. offline evaluation environments).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Baseline algorithms the paper compares against.
+
+* ``Tour2`` — binary tournament without query repetition (an adaptation of
+  Davidson et al.'s top-k algorithm); used for farthest/nearest search,
+  greedy k-center and hierarchical clustering.
+* ``Samp`` — sqrt(n)-sample Count-Max for farthest/nearest; ``k log n``
+  sample greedy for k-center.
+* ``Oq`` — pairwise optimal-cluster queries clustered by connected
+  components, the crowd query model the paper argues against.
+
+Farthest/nearest variants of Tour2 and Samp live in :mod:`repro.neighbors`;
+the clustering variants live here.
+"""
+
+from repro.baselines.optimal_cluster_query import oq_clustering
+from repro.baselines.samp import hierarchical_samp, kcenter_samp
+from repro.baselines.tour2 import hierarchical_tour2, kcenter_tour2
+
+__all__ = [
+    "kcenter_tour2",
+    "hierarchical_tour2",
+    "kcenter_samp",
+    "hierarchical_samp",
+    "oq_clustering",
+]

@@ -1,0 +1,128 @@
+"""``Oq`` baseline: clustering from pairwise optimal-cluster (same-cluster) queries.
+
+The paper's motivating argument (Example 1.1, Section 6.2.2) is that
+pairwise "do these two records belong to the same optimal cluster?" queries
+are hard for a crowd to answer without a holistic view of the dataset, which
+shows up as low recall.  This baseline reproduces that pipeline: query a
+budgeted set of record pairs through a noisy same-cluster oracle, connect the
+records whose queries came back Yes, and report the connected components as
+clusters.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.oracles.quadruplet import SameClusterOracle
+from repro.rng import SeedLike, ensure_rng
+
+
+def _union_find(n: int):
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    return find, union
+
+
+def oq_clustering(
+    oracle: SameClusterOracle,
+    n_points: Optional[int] = None,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+    max_queries: Optional[int] = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Cluster records by connected components of positive same-cluster answers.
+
+    Parameters
+    ----------
+    oracle:
+        Noisy same-cluster oracle.
+    n_points:
+        Number of records (defaults to the oracle's size).
+    pairs:
+        Explicit record pairs to query.  When omitted, all pairs are queried
+        if that fits in *max_queries*, otherwise a uniform sample of
+        *max_queries* pairs is used — matching the paper's budgeted crowd
+        sample.
+    max_queries:
+        Query budget when *pairs* is omitted.
+    seed:
+        Seed for the pair sample.
+
+    Returns
+    -------
+    numpy.ndarray
+        Cluster label per record (labels are contiguous integers from 0).
+    """
+    if n_points is None:
+        n_points = len(oracle)
+    n_points = int(n_points)
+    if n_points < 1:
+        raise EmptyInputError("oq_clustering needs at least one record")
+    rng = ensure_rng(seed)
+
+    if pairs is None:
+        all_pairs = list(combinations(range(n_points), 2))
+        if max_queries is not None and max_queries < len(all_pairs):
+            if max_queries < 0:
+                raise InvalidParameterError("max_queries must be non-negative")
+            chosen = rng.choice(len(all_pairs), size=max_queries, replace=False)
+            pairs = [all_pairs[int(c)] for c in chosen]
+        else:
+            pairs = all_pairs
+    else:
+        pairs = [(int(a), int(b)) for a, b in pairs]
+
+    find, union = _union_find(n_points)
+    for a, b in pairs:
+        if not (0 <= a < n_points and 0 <= b < n_points):
+            raise InvalidParameterError(f"pair ({a}, {b}) out of range")
+        if a == b:
+            continue
+        if oracle.same_cluster(a, b):
+            union(a, b)
+
+    roots: dict = {}
+    labels = np.empty(n_points, dtype=int)
+    for i in range(n_points):
+        root = find(i)
+        if root not in roots:
+            roots[root] = len(roots)
+        labels[i] = roots[root]
+    return labels
+
+
+def oq_clustering_sampled_per_point(
+    oracle: SameClusterOracle,
+    queries_per_point: int,
+    n_points: Optional[int] = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Budget variant: each record is queried against *queries_per_point* random others."""
+    if n_points is None:
+        n_points = len(oracle)
+    n_points = int(n_points)
+    if queries_per_point < 1:
+        raise InvalidParameterError("queries_per_point must be at least 1")
+    rng = ensure_rng(seed)
+    pairs: List[Tuple[int, int]] = []
+    for i in range(n_points):
+        others = rng.choice(n_points, size=min(queries_per_point, n_points), replace=False)
+        for j in others:
+            if int(j) != i:
+                pairs.append((i, int(j)))
+    return oq_clustering(oracle, n_points=n_points, pairs=pairs, seed=seed)

@@ -1,0 +1,39 @@
+"""Synthetic datasets standing in for the paper's evaluation datasets.
+
+The paper evaluates on cities (36K US cities), caltech-256 images, an amazon
+product catalog, a monuments photo collection and dblp paper titles.  None of
+those is redistributable here, so this package generates synthetic spaces
+with the *structural* properties the evaluation relies on:
+
+* ``cities`` — a skewed two-dimensional geographic cloud (a few dense
+  metropolitan blobs plus a long tail), giving the skewed pairwise-distance
+  distribution that makes ``Samp`` fail on farthest queries.
+* ``caltech`` / ``amazon`` / ``monuments`` — planted clusters generated from a
+  category taxonomy, with ground-truth labels for F-score evaluation;
+  ``amazon`` uses broader, more overlapping clusters (probabilistic-noise
+  regime) while ``caltech`` and ``monuments`` are well separated
+  (adversarial-noise regime).
+* ``dblp`` — a large, higher-dimensional embedding-like cloud used for the
+  scalability experiments.
+"""
+
+from repro.datasets.cities import make_cities
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.datasets.synthetic import (
+    make_blobs_space,
+    make_skewed_values,
+    make_uniform_space,
+    make_values_with_confusion_set,
+)
+from repro.datasets.taxonomy import make_taxonomy_space
+
+__all__ = [
+    "make_blobs_space",
+    "make_uniform_space",
+    "make_skewed_values",
+    "make_values_with_confusion_set",
+    "make_cities",
+    "make_taxonomy_space",
+    "load_dataset",
+    "DATASET_NAMES",
+]

@@ -1,0 +1,123 @@
+"""Dataset registry mapping the paper's dataset names to synthetic generators.
+
+Every experiment module loads its workload through :func:`load_dataset`, so
+swapping a synthetic stand-in for real data (if a user has it) only requires
+registering a new loader under the same name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.datasets.cities import make_cities
+from repro.datasets.synthetic import make_blobs_space, make_uniform_space
+from repro.datasets.taxonomy import make_taxonomy_space
+from repro.exceptions import DatasetError
+from repro.metric.space import PointCloudSpace
+from repro.rng import SeedLike
+
+
+def _load_cities(n_points: int, seed: SeedLike) -> PointCloudSpace:
+    return make_cities(n_points=n_points, seed=seed)
+
+
+def _load_caltech(n_points: int, seed: SeedLike) -> PointCloudSpace:
+    # Well-separated categories: the adversarial-noise regime of Figure 4(a).
+    return make_taxonomy_space(
+        n_points=n_points,
+        n_categories=min(20, n_points),
+        within_std=0.25,
+        level_scale=3.0,
+        overlap=0.0,
+        seed=seed,
+    )
+
+
+def _load_amazon(n_points: int, seed: SeedLike) -> PointCloudSpace:
+    # Overlapping categories: substantial noise at all distances (Figure 4(b)).
+    return make_taxonomy_space(
+        n_points=n_points,
+        n_categories=min(14, n_points),
+        within_std=0.6,
+        level_scale=2.0,
+        overlap=0.25,
+        seed=seed,
+    )
+
+
+def _load_monuments(n_points: int, seed: SeedLike) -> PointCloudSpace:
+    # Small, clean collection: 10 tourist locations, very low noise.
+    return make_taxonomy_space(
+        n_points=n_points,
+        n_categories=min(10, n_points),
+        within_std=0.15,
+        level_scale=4.0,
+        overlap=0.0,
+        seed=seed,
+    )
+
+
+def _load_dblp(n_points: int, seed: SeedLike) -> PointCloudSpace:
+    # Large embedding-like cloud with mild cluster structure (word2vec-ish).
+    return make_blobs_space(
+        n_points=n_points,
+        n_clusters=min(50, max(1, n_points // 10)),
+        dimension=16,
+        cluster_std=1.0,
+        center_spread=12.0,
+        seed=seed,
+    )
+
+
+def _load_uniform(n_points: int, seed: SeedLike) -> PointCloudSpace:
+    return make_uniform_space(n_points=n_points, dimension=2, seed=seed)
+
+
+_LOADERS: Dict[str, Callable[[int, SeedLike], PointCloudSpace]] = {
+    "cities": _load_cities,
+    "caltech": _load_caltech,
+    "amazon": _load_amazon,
+    "monuments": _load_monuments,
+    "dblp": _load_dblp,
+    "uniform": _load_uniform,
+}
+
+#: Default sizes used when the caller does not override ``n_points``.  The
+#: paper's sizes (36K cities, 1.8M dblp titles) are scaled down so every
+#: experiment runs on a laptop; query *counts* still follow the same curves.
+DEFAULT_SIZES: Dict[str, int] = {
+    "cities": 800,
+    "caltech": 400,
+    "amazon": 350,
+    "monuments": 100,
+    "dblp": 1200,
+    "uniform": 500,
+}
+
+DATASET_NAMES = tuple(sorted(_LOADERS))
+
+
+def load_dataset(
+    name: str, n_points: int | None = None, seed: SeedLike = 0
+) -> PointCloudSpace:
+    """Load a synthetic stand-in dataset by its paper name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASET_NAMES`.
+    n_points:
+        Number of records to generate (defaults to :data:`DEFAULT_SIZES`).
+    seed:
+        Seed for reproducibility.
+    """
+    key = name.lower()
+    if key not in _LOADERS:
+        raise DatasetError(
+            f"unknown dataset {name!r}; known datasets: {', '.join(DATASET_NAMES)}"
+        )
+    if n_points is None:
+        n_points = DEFAULT_SIZES[key]
+    if n_points < 1:
+        raise DatasetError("n_points must be positive")
+    return _LOADERS[key](int(n_points), seed)

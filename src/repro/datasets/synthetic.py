@@ -1,0 +1,132 @@
+"""Generic synthetic data generators used by tests, examples and experiments."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.metric.space import PointCloudSpace, ValueSpace
+from repro.rng import SeedLike, ensure_rng
+
+
+def make_blobs_space(
+    n_points: int,
+    n_clusters: int,
+    dimension: int = 2,
+    cluster_std: float = 0.5,
+    center_spread: float = 10.0,
+    weights: Optional[Sequence[float]] = None,
+    seed: SeedLike = None,
+) -> PointCloudSpace:
+    """Gaussian-mixture point cloud with ground-truth cluster labels.
+
+    Parameters
+    ----------
+    n_points:
+        Total number of points.
+    n_clusters:
+        Number of planted clusters.
+    dimension:
+        Ambient dimension.
+    cluster_std:
+        Standard deviation of each cluster.
+    center_spread:
+        Cluster centers are drawn uniformly from ``[0, center_spread]^d``.
+    weights:
+        Optional relative cluster sizes (normalised internally); uniform by
+        default.
+    seed:
+        Seed for reproducibility.
+    """
+    if n_points < 1:
+        raise InvalidParameterError("n_points must be positive")
+    if not 1 <= n_clusters <= n_points:
+        raise InvalidParameterError("n_clusters must be between 1 and n_points")
+    if cluster_std < 0:
+        raise InvalidParameterError("cluster_std must be non-negative")
+    rng = ensure_rng(seed)
+    if weights is None:
+        weights = np.full(n_clusters, 1.0 / n_clusters)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if len(weights) != n_clusters or np.any(weights <= 0):
+            raise InvalidParameterError("weights must be positive, one per cluster")
+        weights = weights / weights.sum()
+
+    centers = rng.uniform(0.0, center_spread, size=(n_clusters, dimension))
+    labels = rng.choice(n_clusters, size=n_points, p=weights)
+    # Guarantee every cluster owns at least one point so labels are meaningful.
+    for cluster in range(min(n_clusters, n_points)):
+        labels[cluster] = cluster
+    points = centers[labels] + rng.normal(0.0, cluster_std, size=(n_points, dimension))
+    return PointCloudSpace(points, labels=labels)
+
+
+def make_uniform_space(
+    n_points: int,
+    dimension: int = 2,
+    low: float = 0.0,
+    high: float = 1.0,
+    seed: SeedLike = None,
+) -> PointCloudSpace:
+    """Points drawn uniformly at random from an axis-aligned box."""
+    if n_points < 1:
+        raise InvalidParameterError("n_points must be positive")
+    if high <= low:
+        raise InvalidParameterError("high must be greater than low")
+    rng = ensure_rng(seed)
+    points = rng.uniform(low, high, size=(n_points, dimension))
+    return PointCloudSpace(points)
+
+
+def make_skewed_values(
+    n_values: int,
+    scale: float = 1.0,
+    shape: float = 1.5,
+    seed: SeedLike = None,
+) -> ValueSpace:
+    """Heavy-tailed (Pareto) scalar values, giving a unique clear maximum.
+
+    Used by finding-maximum experiments: a skewed value distribution has few
+    records near the maximum, which is the regime where sampling baselines
+    fail and partition tournaments shine.
+    """
+    if n_values < 1:
+        raise InvalidParameterError("n_values must be positive")
+    if scale <= 0 or shape <= 0:
+        raise InvalidParameterError("scale and shape must be positive")
+    rng = ensure_rng(seed)
+    values = scale * (1.0 + rng.pareto(shape, size=n_values))
+    return ValueSpace(values)
+
+
+def make_values_with_confusion_set(
+    n_values: int,
+    confusion_fraction: float,
+    mu: float,
+    v_max: float = 100.0,
+    seed: SeedLike = None,
+) -> ValueSpace:
+    """Values with a controlled fraction of records inside the confusion band of the maximum.
+
+    ``confusion_fraction`` of the records are placed within a ``(1 + mu)``
+    factor of the maximum (the set ``C`` of the Max-Adv analysis); the rest
+    are well below it.  This generator drives the ablation experiments on the
+    two branches of Lemma 3.5.
+    """
+    if n_values < 2:
+        raise InvalidParameterError("n_values must be at least 2")
+    if not 0.0 <= confusion_fraction <= 1.0:
+        raise InvalidParameterError("confusion_fraction must be in [0, 1]")
+    if mu < 0:
+        raise InvalidParameterError("mu must be non-negative")
+    rng = ensure_rng(seed)
+    n_confused = int(round(confusion_fraction * (n_values - 1)))
+    n_far = n_values - 1 - n_confused
+    near = rng.uniform(v_max / (1.0 + mu + 1e-9), v_max, size=n_confused)
+    far = rng.uniform(v_max / 100.0, v_max / (2.0 * (1.0 + mu) + 1e-9), size=n_far)
+    values = np.concatenate([[v_max], near, far])
+    rng.shuffle(values)
+    return ValueSpace(values)

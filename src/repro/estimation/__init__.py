@@ -1,0 +1,20 @@
+"""Noise-parameter estimation from a labelled validation sample (Section 6.1).
+
+Before choosing between the adversarial-noise and probabilistic-noise
+algorithms, the paper estimates the oracle's behaviour on a small validation
+set with known ground-truth distances: queries are bucketed by the ratio of
+the two compared distances, the per-bucket accuracy is measured, and the
+shape of that curve decides which noise model fits (a sharp accuracy
+cut-off at some ratio ``1 + mu`` means adversarial; roughly constant error
+at every ratio means probabilistic).  This package implements that
+estimation pipeline against any quadruplet oracle.
+"""
+
+from repro.estimation.noise_estimation import (
+    NoiseEstimate,
+    estimate_mu,
+    estimate_noise,
+    estimate_p,
+)
+
+__all__ = ["NoiseEstimate", "estimate_noise", "estimate_mu", "estimate_p"]

@@ -1,0 +1,238 @@
+"""Estimate the oracle noise parameters mu and p from a validation sample.
+
+The procedure mirrors Section 6.1 / 6.2 of the paper:
+
+1. Draw random quadruplet queries over a validation subset whose ground-truth
+   distances are known.
+2. Bucket each query by the ratio ``max(d1, d2) / min(d1, d2)`` of the two
+   compared distances.
+3. Measure the oracle's accuracy per bucket.
+4. If accuracy rises to (essentially) 1 beyond some ratio ``r*`` the
+   adversarial model fits and ``mu = r* - 1``; if substantial error persists
+   at every ratio the probabilistic model fits and ``p`` is the error rate on
+   well-separated queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.metric.space import MetricSpace
+from repro.oracles.base import BaseQuadrupletOracle
+from repro.rng import SeedLike, ensure_rng
+
+#: Default ratio-bucket edges used for the accuracy curve.
+DEFAULT_RATIO_EDGES = (1.0, 1.1, 1.25, 1.45, 1.75, 2.0, 2.5, 3.0, 4.0, 6.0, 10.0)
+
+
+@dataclass
+class NoiseEstimate:
+    """Result of :func:`estimate_noise`.
+
+    Attributes
+    ----------
+    model:
+        ``"adversarial"``, ``"probabilistic"`` or ``"exact"``.
+    mu:
+        Estimated adversarial slack (0 when the model is not adversarial).
+    p:
+        Estimated probabilistic error rate (0 when the model is not
+        probabilistic).
+    ratio_edges:
+        Bucket edges of the accuracy curve.
+    accuracies:
+        Measured accuracy per ratio bucket (``nan`` for empty buckets).
+    counts:
+        Number of validation queries that fell in each bucket.
+    n_queries:
+        Total number of validation queries issued.
+    """
+
+    model: str
+    mu: float
+    p: float
+    ratio_edges: Tuple[float, ...]
+    accuracies: List[float] = field(default_factory=list)
+    counts: List[int] = field(default_factory=list)
+    n_queries: int = 0
+
+    def accuracy_at_ratio(self, ratio: float) -> float:
+        """Measured accuracy of the bucket containing *ratio* (nan if unmeasured)."""
+        bucket = _bucket_of(ratio, self.ratio_edges)
+        return self.accuracies[bucket]
+
+
+def _bucket_of(ratio: float, edges: Sequence[float]) -> int:
+    if ratio < 1.0:
+        raise InvalidParameterError("distance ratios are >= 1 by construction")
+    for index in range(len(edges) - 1):
+        if edges[index] <= ratio < edges[index + 1]:
+            return index
+    return len(edges) - 1
+
+
+def _sample_validation_queries(
+    space: MetricSpace,
+    validation: Sequence[int],
+    n_queries: int,
+    rng: np.random.Generator,
+) -> List[Tuple[int, int, int, int]]:
+    validation = [int(v) for v in validation]
+    if len(validation) < 4:
+        raise EmptyInputError("noise estimation needs at least 4 validation records")
+    queries = []
+    attempts = 0
+    while len(queries) < n_queries and attempts < 50 * n_queries:
+        attempts += 1
+        a, b, c, d = (int(validation[i]) for i in rng.integers(0, len(validation), size=4))
+        if a == b or c == d or {a, b} == {c, d}:
+            continue
+        if space.distance(a, b) == 0.0 or space.distance(c, d) == 0.0:
+            continue
+        queries.append((a, b, c, d))
+    if not queries:
+        raise EmptyInputError("could not sample any valid validation queries")
+    return queries
+
+
+def estimate_noise(
+    oracle: BaseQuadrupletOracle,
+    space: MetricSpace,
+    validation: Optional[Sequence[int]] = None,
+    n_queries: int = 500,
+    ratio_edges: Sequence[float] = DEFAULT_RATIO_EDGES,
+    adversarial_accuracy_cutoff: float = 0.97,
+    exact_error_tolerance: float = 0.02,
+    seed: SeedLike = None,
+) -> NoiseEstimate:
+    """Estimate the noise model and its parameter from validation queries.
+
+    Parameters
+    ----------
+    oracle:
+        The (noisy) quadruplet oracle being characterised.
+    space:
+        Ground-truth metric over the validation records (the "small sample of
+        the dataset" the paper labels through the crowd / original source).
+    validation:
+        Validation record indices (default: every record of *space*).
+    n_queries:
+        Number of random validation quadruplet queries to issue.
+    ratio_edges:
+        Bucket edges for the distance-ratio accuracy curve.
+    adversarial_accuracy_cutoff:
+        A bucket counts as "noise-free" when its accuracy reaches this value;
+        the adversarial model is declared when all buckets beyond some ratio
+        are noise-free.
+    exact_error_tolerance:
+        Overall error rate below which the oracle is declared exact.
+    seed:
+        Seed for query sampling.
+    """
+    if n_queries < 1:
+        raise InvalidParameterError("n_queries must be positive")
+    if len(ratio_edges) < 2:
+        raise InvalidParameterError("need at least two ratio edges")
+    rng = ensure_rng(seed)
+    if validation is None:
+        validation = list(range(len(space)))
+    queries = _sample_validation_queries(space, validation, n_queries, rng)
+
+    edges = tuple(float(e) for e in ratio_edges)
+    correct = np.zeros(len(edges), dtype=float)
+    totals = np.zeros(len(edges), dtype=float)
+    for a, b, c, d in queries:
+        d_left = space.distance(a, b)
+        d_right = space.distance(c, d)
+        ratio = max(d_left, d_right) / min(d_left, d_right)
+        bucket = _bucket_of(ratio, edges)
+        answer = oracle.compare(a, b, c, d)
+        truth = d_left <= d_right
+        totals[bucket] += 1
+        correct[bucket] += int(answer == truth)
+
+    with np.errstate(invalid="ignore"):
+        accuracies = np.where(totals > 0, correct / np.maximum(totals, 1), np.nan)
+    overall_error = 1.0 - correct.sum() / totals.sum()
+
+    estimate = NoiseEstimate(
+        model="exact",
+        mu=0.0,
+        p=0.0,
+        ratio_edges=edges,
+        accuracies=[float(x) for x in accuracies],
+        counts=[int(x) for x in totals],
+        n_queries=int(totals.sum()),
+    )
+
+    if overall_error <= exact_error_tolerance:
+        return estimate
+
+    # Adversarial fit: find the smallest ratio edge beyond which every
+    # measured bucket is (nearly) perfect.
+    measured = [i for i in range(len(edges)) if totals[i] > 0]
+    cutoff_bucket = None
+    for i in measured:
+        tail = [j for j in measured if j >= i]
+        if tail and all(accuracies[j] >= adversarial_accuracy_cutoff for j in tail):
+            cutoff_bucket = i
+            break
+    tail_is_clean = cutoff_bucket is not None and cutoff_bucket > 0
+    if tail_is_clean:
+        estimate.model = "adversarial"
+        estimate.mu = float(edges[cutoff_bucket] - 1.0)
+        return estimate
+
+    # Probabilistic fit: error persists at every ratio.  Estimate p from the
+    # well-separated buckets (where a correct oracle would never err) when
+    # they exist, otherwise from the overall error rate.
+    separated = [i for i in measured if edges[i] >= 2.0]
+    if separated:
+        sep_correct = sum(correct[i] for i in separated)
+        sep_total = sum(totals[i] for i in separated)
+        p_hat = 1.0 - sep_correct / sep_total if sep_total else overall_error
+    else:
+        p_hat = overall_error
+    estimate.model = "probabilistic"
+    estimate.p = float(min(0.49, max(0.0, p_hat)))
+    return estimate
+
+
+def estimate_mu(
+    oracle: BaseQuadrupletOracle,
+    space: MetricSpace,
+    validation: Optional[Sequence[int]] = None,
+    n_queries: int = 500,
+    seed: SeedLike = None,
+) -> float:
+    """Convenience wrapper returning only the adversarial slack estimate ``mu``.
+
+    Returns 0.0 when the measured behaviour does not fit the adversarial
+    model (exact or probabilistic noise).
+    """
+    estimate = estimate_noise(
+        oracle, space, validation=validation, n_queries=n_queries, seed=seed
+    )
+    return estimate.mu if estimate.model == "adversarial" else 0.0
+
+
+def estimate_p(
+    oracle: BaseQuadrupletOracle,
+    space: MetricSpace,
+    validation: Optional[Sequence[int]] = None,
+    n_queries: int = 500,
+    seed: SeedLike = None,
+) -> float:
+    """Convenience wrapper returning only the probabilistic error-rate estimate ``p``.
+
+    Returns 0.0 when the measured behaviour does not fit the probabilistic
+    model (exact or adversarial noise).
+    """
+    estimate = estimate_noise(
+        oracle, space, validation=validation, n_queries=n_queries, seed=seed
+    )
+    return estimate.p if estimate.model == "probabilistic" else 0.0

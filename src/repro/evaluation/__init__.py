@@ -1,0 +1,28 @@
+"""Evaluation metrics used by the experiment harness.
+
+* Pairwise-cluster F-score (precision/recall over intra-cluster pairs), the
+  metric Table 1 reports.
+* k-center objective helpers (max radius, normalisation against the exact
+  greedy baseline), used by Figure 6.
+* Rank / distance metrics for maximum and neighbour queries (Figures 5, 8, 9).
+* Merge-distance trajectories for hierarchical clustering (Figure 7).
+"""
+
+from repro.evaluation.clustering import (
+    normalized_objective,
+    objective_of_result,
+)
+from repro.evaluation.fscore import pairwise_fscore, pairwise_precision_recall
+from repro.evaluation.ranks import distance_of_returned, normalized_distance
+from repro.evaluation.merges import average_merge_distance, merge_distance_ratios
+
+__all__ = [
+    "pairwise_fscore",
+    "pairwise_precision_recall",
+    "objective_of_result",
+    "normalized_objective",
+    "distance_of_returned",
+    "normalized_distance",
+    "average_merge_distance",
+    "merge_distance_ratios",
+]

@@ -1,0 +1,49 @@
+"""k-center objective evaluation helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.kcenter.greedy_exact import greedy_kcenter_exact
+from repro.kcenter.objective import ClusteringResult, kcenter_objective
+from repro.metric.space import MetricSpace
+from repro.rng import SeedLike
+
+
+def objective_of_result(space: MetricSpace, result: ClusteringResult) -> float:
+    """Maximum true point-to-assigned-center distance of a clustering result."""
+    return kcenter_objective(space, result)
+
+
+def normalized_objective(
+    space: MetricSpace,
+    result: ClusteringResult,
+    baseline: Optional[ClusteringResult] = None,
+    k: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> float:
+    """Objective of *result* divided by the exact greedy (``TDist``) objective.
+
+    Values close to 1 mean the noisy clustering matches the noise-free greedy
+    baseline; the paper's Figure 6 reports exactly this normalisation.
+    """
+    if baseline is None:
+        if k is None:
+            k = result.k
+        baseline = greedy_kcenter_exact(space, k, seed=seed)
+    baseline_value = kcenter_objective(space, baseline)
+    value = kcenter_objective(space, result)
+    if baseline_value == 0.0:
+        if value == 0.0:
+            return 1.0
+        raise InvalidParameterError(
+            "baseline objective is zero but the evaluated clustering's is not"
+        )
+    return value / baseline_value
+
+
+def cluster_sizes(result: ClusteringResult) -> Sequence[int]:
+    """Sizes of the clusters in a result, ordered by center selection order."""
+    members = result.cluster_members()
+    return [len(members[c]) for c in result.centers]

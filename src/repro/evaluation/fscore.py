@@ -1,0 +1,59 @@
+"""Pairwise-cluster precision, recall and F-score.
+
+Two records form a *positive pair* when they share a cluster.  Precision and
+recall are computed over the sets of positive pairs in the predicted and
+ground-truth clusterings, the standard evaluation for oracle-based clustering
+used by the paper (Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+def _positive_pair_counts(
+    predicted: np.ndarray, truth: np.ndarray
+) -> Tuple[int, int, int]:
+    """Return (#both-positive, #predicted-positive, #truth-positive) pair counts."""
+    n = len(predicted)
+    both = 0
+    pred_pos = 0
+    true_pos = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            same_pred = predicted[i] == predicted[j]
+            same_true = truth[i] == truth[j]
+            pred_pos += int(same_pred)
+            true_pos += int(same_true)
+            both += int(same_pred and same_true)
+    return both, pred_pos, true_pos
+
+
+def pairwise_precision_recall(
+    predicted: Sequence[int], truth: Sequence[int]
+) -> Tuple[float, float]:
+    """Pairwise precision and recall of *predicted* against *truth* labels."""
+    predicted = np.asarray(predicted)
+    truth = np.asarray(truth)
+    if predicted.shape != truth.shape:
+        raise InvalidParameterError(
+            f"label arrays must have the same shape, got {predicted.shape} and {truth.shape}"
+        )
+    if len(predicted) < 2:
+        return 1.0, 1.0
+    both, pred_pos, true_pos = _positive_pair_counts(predicted, truth)
+    precision = 1.0 if pred_pos == 0 else both / pred_pos
+    recall = 1.0 if true_pos == 0 else both / true_pos
+    return precision, recall
+
+
+def pairwise_fscore(predicted: Sequence[int], truth: Sequence[int]) -> float:
+    """Pairwise F1 score of *predicted* against *truth* labels."""
+    precision, recall = pairwise_precision_recall(predicted, truth)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)

@@ -1,0 +1,75 @@
+"""Evaluation of hierarchical clusterings: merge-distance trajectories (Figure 7)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.hierarchical.dendrogram import Dendrogram
+from repro.metric.space import MetricSpace
+
+
+def _merge_true_distances(
+    dendrogram: Dendrogram, space: Optional[MetricSpace], linkage: str
+) -> List[float]:
+    """Ground-truth linkage distance of every merge, computing it if not recorded."""
+    if linkage not in ("single", "complete"):
+        raise InvalidParameterError("linkage must be 'single' or 'complete'")
+    recorded = dendrogram.true_merge_distances()
+    if all(d is not None for d in recorded) and recorded:
+        return [float(d) for d in recorded]
+    if space is None:
+        raise InvalidParameterError(
+            "dendrogram has no recorded true distances; pass the ground-truth space"
+        )
+    members = dendrogram.members()
+    distances = []
+    for step in dendrogram.merges:
+        left = members[step.left]
+        right = members[step.right]
+        pair_dists = [space.distance(u, v) for u in left for v in right]
+        value = min(pair_dists) if linkage == "single" else max(pair_dists)
+        distances.append(float(value))
+    return distances
+
+
+def average_merge_distance(
+    dendrogram: Dendrogram,
+    space: Optional[MetricSpace] = None,
+    linkage: str = "single",
+) -> float:
+    """Average true linkage distance over all merges (the Figure 7 metric)."""
+    distances = _merge_true_distances(dendrogram, space, linkage)
+    if not distances:
+        return 0.0
+    return float(np.mean(distances))
+
+
+def merge_distance_ratios(
+    noisy: Dendrogram,
+    reference: Dendrogram,
+    space: Optional[MetricSpace] = None,
+    linkage: str = "single",
+) -> np.ndarray:
+    """Per-merge ratio of the noisy algorithm's merge distance to the exact algorithm's.
+
+    Both dendrograms must have the same number of merges.  Ratios >= 1 mean
+    the noisy algorithm merged clusters that were farther apart than the
+    optimal merge at the same step.
+    """
+    noisy_d = _merge_true_distances(noisy, space, linkage)
+    ref_d = _merge_true_distances(reference, space, linkage)
+    if len(noisy_d) != len(ref_d):
+        raise InvalidParameterError(
+            "dendrograms have different numbers of merges "
+            f"({len(noisy_d)} vs {len(ref_d)})"
+        )
+    ratios = []
+    for a, b in zip(noisy_d, ref_d):
+        if b == 0.0:
+            ratios.append(1.0 if a == 0.0 else float("inf"))
+        else:
+            ratios.append(a / b)
+    return np.asarray(ratios, dtype=float)

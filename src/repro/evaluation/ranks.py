@@ -1,0 +1,69 @@
+"""Distance / rank metrics for maximum, farthest and nearest-neighbour queries."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.metric.space import MetricSpace
+
+
+def distance_of_returned(space: MetricSpace, query: int, returned: int) -> float:
+    """True distance between the query record and the record an algorithm returned."""
+    return space.distance(int(query), int(returned))
+
+
+def normalized_distance(
+    space: MetricSpace,
+    query: int,
+    returned: int,
+    candidates: Optional[Sequence[int]] = None,
+    reference: str = "farthest",
+) -> float:
+    """Distance of the returned record divided by the optimal distance.
+
+    For ``reference == "farthest"`` the optimum is the true farthest distance
+    (values in ``(0, 1]``, 1 is optimal, higher is better); for ``"nearest"``
+    the ratio is ``d(q, returned) / d(q, nearest)`` (>= 1, 1 is optimal,
+    lower is better).
+    """
+    query = int(query)
+    if candidates is None:
+        candidates = [i for i in range(len(space)) if i != query]
+    dists = space.distances_from(query, candidates)
+    achieved = space.distance(query, int(returned))
+    if reference == "farthest":
+        best = float(np.max(dists))
+        if best == 0.0:
+            return 1.0
+        return achieved / best
+    if reference == "nearest":
+        best = float(np.min(dists))
+        if best == 0.0:
+            return 1.0 if achieved == 0.0 else float("inf")
+        return achieved / best
+    raise InvalidParameterError("reference must be 'farthest' or 'nearest'")
+
+
+def rank_among_candidates(
+    space: MetricSpace,
+    query: int,
+    returned: int,
+    candidates: Optional[Sequence[int]] = None,
+    farthest: bool = True,
+) -> int:
+    """Rank (1-based) of the returned record among candidates, by distance from the query."""
+    query = int(query)
+    returned = int(returned)
+    if candidates is None:
+        candidates = [i for i in range(len(space)) if i != query]
+    candidates = [int(c) for c in candidates]
+    if returned not in candidates:
+        raise InvalidParameterError("returned record is not among the candidates")
+    dists = space.distances_from(query, candidates)
+    keys = -dists if farthest else dists
+    order = np.argsort(keys, kind="stable")
+    position = candidates.index(returned)
+    return int(np.where(order == position)[0][0]) + 1

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every exception raised deliberately by the library derives from
+:class:`ReproError` so that callers can distinguish library failures from
+programming errors in their own code with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter is outside its documented domain.
+
+    Raised, for example, when a noise rate ``p`` is not in ``[0, 0.5)`` or an
+    adversarial slack ``mu`` is negative.
+    """
+
+
+class EmptyInputError(ReproError, ValueError):
+    """An algorithm received an empty collection where at least one item is required."""
+
+
+class QueryBudgetExceededError(ReproError, RuntimeError):
+    """An oracle exceeded its configured query budget.
+
+    The counter that raised this error is available as the ``counter``
+    attribute so callers can inspect how many queries were issued.
+    """
+
+    def __init__(self, message: str, counter=None):
+        super().__init__(message)
+        self.counter = counter
+
+
+class NotAMetricError(ReproError, ValueError):
+    """A distance function failed one of the metric axioms during validation."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset name is unknown or its generation parameters are invalid."""
+
+
+class ClusteringError(ReproError, RuntimeError):
+    """A clustering routine reached an inconsistent internal state."""

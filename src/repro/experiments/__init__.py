@@ -1,0 +1,37 @@
+"""Experiment harness regenerating every table and figure of the paper's evaluation.
+
+Each module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.base.ExperimentResult` whose rows mirror the
+series / table rows the paper reports.  Dataset sizes default to
+laptop-friendly values (the paper's absolute sizes are scaled down); pass
+larger ``n_points`` for closer-to-paper runs.
+
+Run any experiment from the command line::
+
+    python -m repro.experiments fig6_kcenter --quick
+"""
+
+from repro.experiments import (
+    fig4_user_study,
+    fig5_crowd_far_nn,
+    fig6_kcenter_objective,
+    fig7_hierarchical,
+    fig8_farthest_noise,
+    fig9_nn_noise,
+    table1_fscore,
+    table2_queries,
+)
+from repro.experiments.base import ExperimentResult
+
+EXPERIMENTS = {
+    "fig4_user_study": fig4_user_study,
+    "fig5_crowd_far_nn": fig5_crowd_far_nn,
+    "fig6_kcenter": fig6_kcenter_objective,
+    "fig7_hierarchical": fig7_hierarchical,
+    "fig8_farthest_noise": fig8_farthest_noise,
+    "fig9_nn_noise": fig9_nn_noise,
+    "table1_fscore": table1_fscore,
+    "table2_queries": table2_queries,
+}
+
+__all__ = ["ExperimentResult", "EXPERIMENTS"]

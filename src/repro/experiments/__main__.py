@@ -1,0 +1,65 @@
+"""Command-line entry point for the experiment harness.
+
+Examples
+--------
+List the experiments::
+
+    python -m repro.experiments --list
+
+Run one experiment with laptop-quick settings and print its table::
+
+    python -m repro.experiments fig6_kcenter --quick
+    python -m repro.experiments table1_fscore --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import EXPERIMENTS
+
+#: Reduced settings per experiment used with ``--quick`` (smoke-test scale).
+_QUICK_OVERRIDES = {
+    "fig4_user_study": {"n_points": 150, "n_buckets": 5, "queries_per_cell": 4},
+    "fig5_crowd_far_nn": {"n_points": 150, "n_queries": 2},
+    "fig6_kcenter": {"n_points": 200, "k_values": (5, 10)},
+    "fig7_hierarchical": {"n_points": 40},
+    "fig8_farthest_noise": {"n_points": 200, "n_queries": 2},
+    "fig9_nn_noise": {"n_points": 200, "n_queries": 2},
+    "table1_fscore": {"n_points": 120},
+    "table2_queries": {"n_points": 250, "k": 5, "linkage_points": 40},
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures on synthetic stand-in data.",
+    )
+    parser.add_argument("experiment", nargs="?", help="experiment name (see --list)")
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument("--quick", action="store_true", help="use reduced smoke-test settings")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--csv", action="store_true", help="print CSV instead of a table")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        for name, module in EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:22s} {doc}")
+        return 0
+
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; use --list", file=sys.stderr)
+        return 2
+
+    kwargs = dict(_QUICK_OVERRIDES.get(args.experiment, {})) if args.quick else {}
+    kwargs["seed"] = args.seed
+    result = EXPERIMENTS[args.experiment].run(**kwargs)
+    print(result.to_csv() if args.csv else result.to_table())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

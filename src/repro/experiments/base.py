@@ -1,0 +1,104 @@
+"""Shared result container and table formatting for the experiment harness."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Rows produced by one experiment, plus the parameters that produced them.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (e.g. ``"fig6_kcenter"``).
+    description:
+        One-line summary of what the experiment measures.
+    rows:
+        List of dictionaries, one per reported data point; keys are column
+        names.
+    params:
+        The parameters the experiment ran with (dataset sizes, seeds, noise
+        levels, ...), recorded for reproducibility.
+    """
+
+    name: str
+    description: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def columns(self) -> List[str]:
+        """Union of all row keys, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def filter(self, **criteria: Any) -> List[Dict[str, Any]]:
+        """Rows matching all the given column=value criteria."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(column) == value for column, value in criteria.items())
+        ]
+
+    def column(self, name: str, **criteria: Any) -> List[Any]:
+        """Values of one column across (optionally filtered) rows."""
+        return [row[name] for row in self.filter(**criteria) if name in row]
+
+    def to_table(self, max_rows: Optional[int] = None, float_format: str = "{:.3f}") -> str:
+        """Plain-text table of the rows (what the CLI prints)."""
+        columns = self.columns()
+        if not columns:
+            return f"{self.name}: (no rows)"
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return float_format.format(value)
+            return str(value)
+
+        rendered = [[fmt(row.get(c, "")) for c in columns] for row in rows]
+        widths = [
+            max(len(columns[i]), *(len(r[i]) for r in rendered)) if rendered else len(columns[i])
+            for i in range(len(columns))
+        ]
+        lines = [
+            "  ".join(c.ljust(w) for c, w in zip(columns, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for r in rendered:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering of the rows."""
+        columns = self.columns()
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns)
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({c: row.get(c, "") for c in columns})
+        return buffer.getvalue()
+
+    def summary(self, group_by: Sequence[str], value: str) -> List[Dict[str, Any]]:
+        """Group rows by the given columns and average the *value* column."""
+        groups: Dict[tuple, List[float]] = {}
+        for row in self.rows:
+            key = tuple(row.get(c) for c in group_by)
+            if value in row and isinstance(row[value], (int, float)):
+                groups.setdefault(key, []).append(float(row[value]))
+        out = []
+        for key, values in groups.items():
+            entry = {c: k for c, k in zip(group_by, key)}
+            entry[f"mean_{value}"] = sum(values) / len(values)
+            entry["n"] = len(values)
+            out.append(entry)
+        return out

@@ -1,0 +1,151 @@
+"""Figure 4: crowd accuracy per distance-bucket pair (simulated user study).
+
+The paper buckets record pairs by ground-truth distance, asks the crowd
+``log n`` random quadruplet queries for every pair of buckets (each answered
+by three workers, majority vote), and plots the per-bucket-pair accuracy as a
+heat map.  Accuracy is ~0.5 on the diagonal and rises towards 1 off the
+diagonal; caltech shows a sharp cut-off (adversarial-like) while amazon stays
+noisy everywhere (probabilistic-like).
+
+This module reproduces the measurement against the simulated crowd oracle:
+the *output* is the measured accuracy matrix, the *input profile* is only the
+per-query accuracy model, so the measurement still aggregates worker votes
+and sampling noise exactly as the study did.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.base import ExperimentResult
+from repro.oracles.counting import QueryCounter
+from repro.oracles.crowd import BucketAccuracyProfile, CrowdQuadrupletOracle
+from repro.rng import SeedLike, ensure_rng
+
+#: Datasets measured in Figure 4 together with the profile regime they follow.
+FIG4_DATASETS: Dict[str, str] = {"caltech": "adversarial", "amazon": "probabilistic"}
+
+
+def _bucket_pairs(
+    space, n_buckets: int, rng: np.random.Generator, per_bucket: int
+) -> Dict[int, List[Tuple[int, int]]]:
+    """Sample record pairs and group them by the distance bucket they fall into."""
+    n = len(space)
+    max_distance = 0.0
+    probe = rng.choice(n, size=min(n, 200), replace=False)
+    for i in probe:
+        max_distance = max(max_distance, float(np.max(space.distances_from(int(i)))))
+    width = max(1e-12, max_distance / n_buckets)
+    buckets: Dict[int, List[Tuple[int, int]]] = {b: [] for b in range(n_buckets)}
+    attempts = 0
+    needed = per_bucket * n_buckets * 4
+    while attempts < needed * 10 and any(len(v) < per_bucket for v in buckets.values()):
+        i, j = rng.integers(0, n, size=2)
+        attempts += 1
+        if i == j:
+            continue
+        d = space.distance(int(i), int(j))
+        bucket = min(n_buckets - 1, int(d / width))
+        if len(buckets[bucket]) < per_bucket:
+            buckets[bucket].append((int(i), int(j)))
+    return {b: pairs for b, pairs in buckets.items() if pairs}
+
+
+def run(
+    n_points: Optional[int] = None,
+    n_buckets: int = 8,
+    queries_per_cell: Optional[int] = None,
+    n_workers: int = 3,
+    seed: SeedLike = 0,
+) -> ExperimentResult:
+    """Measure crowd accuracy for every pair of distance buckets (Figure 4).
+
+    Parameters
+    ----------
+    n_points:
+        Records per dataset (defaults to the registry's scaled-down sizes).
+    n_buckets:
+        Number of distance buckets per dataset.
+    queries_per_cell:
+        Quadruplet queries per bucket pair (default ``log n`` as in the paper).
+    n_workers:
+        Simulated crowd workers per query (majority vote).
+    seed:
+        Seed for sampling and the crowd simulation.
+    """
+    rng = ensure_rng(seed)
+    result = ExperimentResult(
+        name="fig4_user_study",
+        description="Crowd quadruplet-query accuracy per distance-bucket pair",
+        params={
+            "n_points": n_points,
+            "n_buckets": n_buckets,
+            "queries_per_cell": queries_per_cell,
+            "n_workers": n_workers,
+            "seed": seed,
+        },
+    )
+    for dataset, regime in FIG4_DATASETS.items():
+        space = load_dataset(dataset, n_points=n_points, seed=rng.integers(0, 2**31))
+        n = len(space)
+        per_cell = queries_per_cell or max(3, int(math.ceil(math.log(n))))
+        max_distance = float(
+            np.max([np.max(space.distances_from(i)) for i in range(0, n, max(1, n // 50))])
+        )
+        if regime == "adversarial":
+            profile = BucketAccuracyProfile.adversarial_like(max_distance)
+        else:
+            profile = BucketAccuracyProfile.probabilistic_like(max_distance)
+        oracle = CrowdQuadrupletOracle(
+            space,
+            profile,
+            n_workers=n_workers,
+            seed=rng.integers(0, 2**31),
+            counter=QueryCounter(),
+        )
+        buckets = _bucket_pairs(space, n_buckets, rng, per_bucket=per_cell)
+        for b_left, left_pairs in buckets.items():
+            for b_right, right_pairs in buckets.items():
+                count = min(len(left_pairs), len(right_pairs), per_cell)
+                if count == 0:
+                    continue
+                correct = 0
+                total = 0
+                for idx in range(count):
+                    a, b = left_pairs[idx]
+                    c, d = right_pairs[(idx * 7 + 1) % len(right_pairs)]
+                    if (a, b) == (c, d):
+                        continue
+                    answer = oracle.compare(a, b, c, d)
+                    truth = space.distance(a, b) <= space.distance(c, d)
+                    correct += int(answer == truth)
+                    total += 1
+                if total == 0:
+                    continue
+                result.rows.append(
+                    {
+                        "dataset": dataset,
+                        "regime": regime,
+                        "bucket_left": b_left,
+                        "bucket_right": b_right,
+                        "accuracy": correct / total,
+                        "n_queries": total,
+                    }
+                )
+    return result
+
+
+def accuracy_matrix(result: ExperimentResult, dataset: str) -> np.ndarray:
+    """Reshape a Figure 4 result into the heat-map matrix for one dataset."""
+    rows = result.filter(dataset=dataset)
+    if not rows:
+        return np.zeros((0, 0))
+    size = max(max(r["bucket_left"], r["bucket_right"]) for r in rows) + 1
+    matrix = np.full((size, size), np.nan)
+    for r in rows:
+        matrix[r["bucket_left"], r["bucket_right"]] = r["accuracy"]
+    return matrix

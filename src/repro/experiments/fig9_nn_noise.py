@@ -1,0 +1,38 @@
+"""Figure 9: nearest-neighbour quality versus synthetic noise level on cities.
+
+Identical sweep to Figure 8 but for the nearest-neighbour query (lower is
+better).  The paper omits Samp from the plot because its returned points are
+far worse than everything else; the rows here include it so that conclusion
+can be verified, and drop it from the headline comparison by filtering.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments import fig8_farthest_noise
+from repro.experiments.base import ExperimentResult
+from repro.rng import SeedLike
+
+DEFAULT_MU_VALUES = fig8_farthest_noise.DEFAULT_MU_VALUES
+DEFAULT_P_VALUES = fig8_farthest_noise.DEFAULT_P_VALUES
+
+
+def run(
+    n_points: Optional[int] = None,
+    dataset: str = "cities",
+    mu_values: Sequence[float] = DEFAULT_MU_VALUES,
+    p_values: Sequence[float] = DEFAULT_P_VALUES,
+    n_queries: int = 5,
+    seed: SeedLike = 0,
+) -> ExperimentResult:
+    """Sweep noise levels and report nearest-neighbour quality (Figure 9)."""
+    return fig8_farthest_noise.run(
+        n_points=n_points,
+        dataset=dataset,
+        mu_values=mu_values,
+        p_values=p_values,
+        n_queries=n_queries,
+        task="nearest",
+        seed=seed,
+    )

@@ -1,0 +1,14 @@
+"""Agglomerative hierarchical clustering with a noisy quadruplet oracle (Section 5).
+
+Single-linkage and complete-linkage agglomerative clustering repeatedly merge
+the closest pair of clusters.  With a noisy oracle the "closest pair" step is
+implemented with the robust minimum-finding machinery of Section 3, and the
+SLINK-style adjacency-list bookkeeping keeps the overall query complexity at
+``O(n^2 log^2(n / delta))`` (Algorithm 11 / Theorem 5.2).
+"""
+
+from repro.hierarchical.dendrogram import Dendrogram, MergeStep
+from repro.hierarchical.exact_linkage import exact_linkage
+from repro.hierarchical.noisy_linkage import noisy_linkage
+
+__all__ = ["Dendrogram", "MergeStep", "exact_linkage", "noisy_linkage"]

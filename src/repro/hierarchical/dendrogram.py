@@ -1,0 +1,142 @@
+"""Dendrogram data structure produced by agglomerative clustering.
+
+The structure records one :class:`MergeStep` per merge (which two clusters
+were merged, the pair of records that witnessed the linkage distance, and —
+when available — the true linkage distance for evaluation), and supports
+cutting the tree into a flat clustering with a requested number of clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ClusteringError, InvalidParameterError
+
+
+@dataclass
+class MergeStep:
+    """A single merge performed by an agglomerative clustering algorithm.
+
+    Attributes
+    ----------
+    left, right:
+        Identifiers of the two merged clusters (cluster ids are the leaf
+        record index for singletons and fresh ids ``n, n+1, ...`` for merged
+        clusters, as in SciPy's linkage convention).
+    merged:
+        Identifier of the newly created cluster.
+    witness_pair:
+        The pair of records whose distance defined the linkage value used by
+        the (possibly noisy) algorithm for this merge.
+    true_distance:
+        Ground-truth linkage distance between the two merged clusters, filled
+        in by the evaluation code (``None`` when not evaluated).
+    size:
+        Number of leaf records in the merged cluster.
+    """
+
+    left: int
+    right: int
+    merged: int
+    witness_pair: Tuple[int, int]
+    true_distance: Optional[float] = None
+    size: int = 0
+
+
+@dataclass
+class Dendrogram:
+    """A full agglomerative clustering history over *n_leaves* records."""
+
+    n_leaves: int
+    merges: List[MergeStep] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.n_leaves < 1:
+            raise InvalidParameterError("a dendrogram needs at least one leaf")
+
+    @property
+    def n_merges(self) -> int:
+        """Number of merges recorded so far (``n_leaves - 1`` when complete)."""
+        return len(self.merges)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every record has been merged into a single root cluster."""
+        return len(self.merges) == self.n_leaves - 1
+
+    def add_merge(self, step: MergeStep) -> None:
+        """Append a merge step, validating the new cluster identifier."""
+        expected_id = self.n_leaves + len(self.merges)
+        if step.merged != expected_id:
+            raise ClusteringError(
+                f"merge id {step.merged} out of order; expected {expected_id}"
+            )
+        self.merges.append(step)
+
+    def members(self) -> Dict[int, List[int]]:
+        """Mapping from every cluster id (leaf or merged) to its leaf members."""
+        members: Dict[int, List[int]] = {i: [i] for i in range(self.n_leaves)}
+        for step in self.merges:
+            members[step.merged] = members[step.left] + members[step.right]
+        return members
+
+    def cut(self, n_clusters: int) -> np.ndarray:
+        """Flat clustering with *n_clusters* clusters (labels per leaf record).
+
+        The cut undoes the last ``n_clusters - 1`` merges, i.e. it returns the
+        clustering that existed just before the tree was reduced to
+        *n_clusters* clusters.
+        """
+        if not 1 <= n_clusters <= self.n_leaves:
+            raise InvalidParameterError(
+                f"n_clusters must be between 1 and {self.n_leaves}, got {n_clusters}"
+            )
+        if not self.is_complete and n_clusters < self.n_leaves - len(self.merges):
+            raise ClusteringError(
+                "dendrogram is incomplete; cannot cut below the recorded merges"
+            )
+        # Replay merges until only n_clusters clusters remain.
+        parent: Dict[int, int] = {}
+        active = self.n_leaves
+        for step in self.merges:
+            if active <= n_clusters:
+                break
+            parent[step.left] = step.merged
+            parent[step.right] = step.merged
+            active -= 1
+
+        def find_root(node: int) -> int:
+            while node in parent:
+                node = parent[node]
+            return node
+
+        roots: Dict[int, int] = {}
+        labels = np.empty(self.n_leaves, dtype=int)
+        for leaf in range(self.n_leaves):
+            root = find_root(leaf)
+            if root not in roots:
+                roots[root] = len(roots)
+            labels[leaf] = roots[root]
+        return labels
+
+    def merge_witness_pairs(self) -> List[Tuple[int, int]]:
+        """The witness record pair of every merge, in merge order."""
+        return [step.witness_pair for step in self.merges]
+
+    def true_merge_distances(self) -> List[Optional[float]]:
+        """The recorded ground-truth linkage distance of every merge, in order."""
+        return [step.true_distance for step in self.merges]
+
+    def to_linkage_matrix(self) -> np.ndarray:
+        """SciPy-style ``(n-1, 4)`` linkage matrix (distance column uses true distances).
+
+        Missing true distances are encoded as ``nan``.
+        """
+        rows = []
+        for step in self.merges:
+            dist = float("nan") if step.true_distance is None else step.true_distance
+            rows.append([step.left, step.right, dist, step.size])
+        return np.asarray(rows, dtype=float)

@@ -1,0 +1,229 @@
+"""Noisy-oracle agglomerative clustering (Algorithm 11 of the paper).
+
+The algorithm follows the SLINK-style bookkeeping described in Section 5:
+
+* Every pair of active clusters carries a **witness record pair** whose
+  distance represents the linkage value between the clusters (the closest
+  pair of records for single linkage, the farthest for complete linkage).
+* Every active cluster caches its (approximate) nearest neighbouring cluster.
+* Each iteration finds the globally closest ``(cluster, nearest-neighbour)``
+  candidate with the robust minimum-finding algorithm of Section 3 (Max-Adv
+  with the comparison direction reversed), merges the two clusters, and
+  updates the witness pairs of the merged cluster with a **single**
+  quadruplet query per remaining cluster, because
+  ``d_SL(C_j ∪ C~_j, C_k) = min(d_SL(C_j, C_k), d_SL(C~_j, C_k))`` (and the
+  analogous max identity for complete linkage).
+
+Every merge is a ``(1 + mu)^3`` approximation of the optimal merge at that
+point under adversarial noise (Lemma 5.1 / Theorem 5.2); the total query
+complexity is ``O(n^2 log^2 (n / delta))``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import math
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.hierarchical.dendrogram import Dendrogram, MergeStep
+from repro.maximum.adversarial import min_adversarial
+from repro.maximum.count_max import count_min
+from repro.maximum.tournament import tournament_min
+from repro.metric.space import MetricSpace
+from repro.oracles.base import BaseQuadrupletOracle, FunctionComparisonOracle
+from repro.rng import SeedLike, ensure_rng
+
+_LINKAGES = ("single", "complete")
+_METHODS = ("robust", "tour2", "samp")
+
+
+def noisy_linkage(
+    oracle: BaseQuadrupletOracle,
+    linkage: str = "single",
+    points: Optional[Sequence[int]] = None,
+    n_merges: Optional[int] = None,
+    delta: float = 0.1,
+    space: Optional[MetricSpace] = None,
+    method: str = "robust",
+    seed: SeedLike = None,
+) -> Dendrogram:
+    """Single / complete-linkage agglomerative clustering with a noisy oracle.
+
+    Parameters
+    ----------
+    oracle:
+        Noisy quadruplet oracle over the hidden metric.
+    linkage:
+        ``"single"`` or ``"complete"``.
+    points:
+        Records to cluster (default: every record).  Dendrogram leaves are
+        indexed by position in this list.
+    n_merges:
+        Stop after this many merges (default: build the full hierarchy).
+    delta:
+        Failure probability budget for the robust minimum searches.
+    space:
+        Optional ground-truth space; when provided, each merge step records
+        the true linkage distance between the merged clusters so evaluation
+        (Figure 7) needs no extra work.
+    method:
+        Minimum-finding strategy for the closest-cluster searches:
+        ``"robust"`` (Max-Adv, the paper's ``HC`` algorithm), ``"tour2"``
+        (binary tournament baseline) or ``"samp"`` (sqrt-sample Count-Max
+        baseline).
+    seed:
+        Seed for the randomised minimum searches.
+    """
+    if linkage not in _LINKAGES:
+        raise InvalidParameterError(
+            f"linkage must be one of {_LINKAGES}, got {linkage!r}"
+        )
+    if method not in _METHODS:
+        raise InvalidParameterError(f"method must be one of {_METHODS}, got {method!r}")
+    if points is None:
+        points = list(range(len(oracle)))
+    else:
+        points = [int(p) for p in points]
+    n = len(points)
+    if n == 0:
+        raise EmptyInputError("linkage clustering needs at least one point")
+    if n_merges is None:
+        n_merges = n - 1
+    if not 0 <= n_merges <= n - 1:
+        raise InvalidParameterError(
+            f"n_merges must be between 0 and {n - 1}, got {n_merges}"
+        )
+    rng = ensure_rng(seed)
+    dendrogram = Dendrogram(n_leaves=n)
+    if n == 1 or n_merges == 0:
+        return dendrogram
+
+    members: Dict[int, list] = {i: [points[i]] for i in range(n)}
+    active = set(range(n))
+    # Witness record pair representing the linkage distance between clusters.
+    witness: Dict[Tuple[int, int], Tuple[int, int]] = {}
+
+    def key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            witness[(i, j)] = (points[i], points[j])
+
+    def witness_of(a: int, b: int) -> Tuple[int, int]:
+        return witness[key(a, b)]
+
+    def find_min(items, view) -> int:
+        """Dispatch the closest-cluster search to the configured strategy."""
+        if method == "robust":
+            return min_adversarial(items, view, delta=delta, n_iterations=1, seed=rng)
+        if method == "tour2":
+            return tournament_min(items, view, degree=2, seed=rng)
+        # "samp": Count-Max over a sqrt-sized uniform sample of the items.
+        sample_size = max(1, int(math.isqrt(len(items))))
+        positions = rng.choice(len(items), size=min(sample_size, len(items)), replace=False)
+        sample = [items[int(p)] for p in positions]
+        return count_min(sample, view, seed=rng)
+
+    def nearest_neighbor(cluster: int) -> Optional[int]:
+        """Approximate nearest active cluster to *cluster*."""
+        others = [c for c in active if c != cluster]
+        if not others:
+            return None
+
+        def compare(c1: int, c2: int) -> bool:
+            pair1 = witness_of(cluster, c1)
+            pair2 = witness_of(cluster, c2)
+            return oracle.compare(pair1[0], pair1[1], pair2[0], pair2[1])
+
+        view = FunctionComparisonOracle(compare, counter=oracle.counter)
+        return find_min(others, view)
+
+    nn: Dict[int, Optional[int]] = {i: nearest_neighbor(i) for i in active}
+
+    next_id = n
+    # Complete linkage keeps the *farther* witness when merging adjacency
+    # entries; single linkage keeps the closer one.
+    keep_closer = linkage == "single"
+
+    for _ in range(n_merges):
+        if len(active) < 2:
+            break
+        candidates = [c for c in active if nn[c] is not None]
+
+        def compare_candidates(c1: int, c2: int) -> bool:
+            pair1 = witness_of(c1, nn[c1])
+            pair2 = witness_of(c2, nn[c2])
+            return oracle.compare(pair1[0], pair1[1], pair2[0], pair2[1])
+
+        view = FunctionComparisonOracle(compare_candidates, counter=oracle.counter)
+        chosen = find_min(candidates, view)
+        left, right = chosen, nn[chosen]
+
+        merged_id = next_id
+        next_id += 1
+        members[merged_id] = members[left] + members[right]
+        merge_witness = witness_of(left, right)
+        true_distance = None
+        if space is not None:
+            true_distance = _true_linkage_distance(
+                space, members[left], members[right], linkage
+            )
+        dendrogram.add_merge(
+            MergeStep(
+                left=left,
+                right=right,
+                merged=merged_id,
+                witness_pair=merge_witness,
+                true_distance=true_distance,
+                size=len(members[merged_id]),
+            )
+        )
+
+        active.discard(left)
+        active.discard(right)
+        nn.pop(left, None)
+        nn.pop(right, None)
+
+        # Update the adjacency witnesses of the merged cluster: one query per
+        # remaining cluster decides which of the two previous witnesses to keep.
+        for other in active:
+            pair_left = witness_of(left, other)
+            pair_right = witness_of(right, other)
+            left_is_closer = oracle.compare(
+                pair_left[0], pair_left[1], pair_right[0], pair_right[1]
+            )
+            if keep_closer:
+                chosen_pair = pair_left if left_is_closer else pair_right
+            else:
+                chosen_pair = pair_right if left_is_closer else pair_left
+            witness[key(other, merged_id)] = chosen_pair
+        active.add(merged_id)
+
+        # Refresh nearest neighbours: the merged cluster needs one, and any
+        # cluster that pointed to a merged cluster must repoint.
+        nn[merged_id] = nearest_neighbor(merged_id)
+        for other in list(active):
+            if other == merged_id:
+                continue
+            if nn.get(other) in (left, right) or nn.get(other) is None:
+                nn[other] = nearest_neighbor(other)
+    return dendrogram
+
+
+def _true_linkage_distance(
+    space: MetricSpace, left_members, right_members, linkage: str
+) -> float:
+    """Ground-truth linkage distance between two sets of records (evaluation only)."""
+    best = None
+    for u in left_members:
+        for v in right_members:
+            d = space.distance(u, v)
+            if best is None:
+                best = d
+            elif linkage == "single":
+                best = min(best, d)
+            else:
+                best = max(best, d)
+    return float(best)

@@ -1,0 +1,29 @@
+"""Robust k-center clustering with a noisy quadruplet oracle (Section 4 of the paper).
+
+The classic greedy (Gonzalez) algorithm alternates two primitives — "find the
+point farthest from its assigned center" and "assign every point to its
+closest center" — both of which become unreliable when distances can only be
+compared through a noisy oracle.  This package provides:
+
+* :func:`greedy_kcenter_exact` — the noise-free greedy baseline (``TDist``).
+* :func:`kcenter_adversarial` — Algorithm 6: Approx-Farthest via Max-Adv and
+  MCount-based assignment, a ``2 + O(mu)`` approximation.
+* :func:`kcenter_probabilistic` — Algorithm 7: sampling, per-cluster cores
+  (Identify-Core), robust ACount assignment and ClusterComp-based farthest
+  search, an ``O(1)`` approximation when optimal clusters are large.
+* Baseline cluster assignments (``Tour2`` and ``Samp``) live in
+  :mod:`repro.baselines`.
+"""
+
+from repro.kcenter.adversarial import kcenter_adversarial
+from repro.kcenter.greedy_exact import greedy_kcenter_exact
+from repro.kcenter.objective import ClusteringResult, kcenter_objective
+from repro.kcenter.probabilistic import kcenter_probabilistic
+
+__all__ = [
+    "ClusteringResult",
+    "kcenter_objective",
+    "greedy_kcenter_exact",
+    "kcenter_adversarial",
+    "kcenter_probabilistic",
+]

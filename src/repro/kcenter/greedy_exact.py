@@ -1,0 +1,83 @@
+"""Noise-free greedy k-center (Gonzalez 1985): the ``TDist`` baseline.
+
+The greedy algorithm picks an arbitrary first center, then repeatedly adds
+the point farthest from its current centers and reassigns points to the
+closest center.  With exact distances it is a 2-approximation of the optimal
+k-center objective, which is the best possible unless P = NP; the paper
+normalises every noisy algorithm's objective against this baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.kcenter.objective import ClusteringResult
+from repro.metric.space import MetricSpace
+from repro.rng import SeedLike, ensure_rng
+
+
+def greedy_kcenter_exact(
+    space: MetricSpace,
+    k: int,
+    points: Optional[Sequence[int]] = None,
+    first_center: Optional[int] = None,
+    seed: SeedLike = None,
+) -> ClusteringResult:
+    """Run the exact greedy (farthest-point traversal) k-center algorithm.
+
+    Parameters
+    ----------
+    space:
+        Ground-truth metric space.
+    k:
+        Number of centers to select.
+    points:
+        Subset of records to cluster (default: all records).
+    first_center:
+        Optional fixed initial center; chosen uniformly at random otherwise.
+    seed:
+        Seed for the initial-center choice.
+    """
+    if points is None:
+        points = list(range(len(space)))
+    else:
+        points = [int(p) for p in points]
+    if not points:
+        raise EmptyInputError("greedy k-center needs at least one point")
+    if not 1 <= k <= len(points):
+        raise InvalidParameterError(
+            f"k must be between 1 and {len(points)}, got {k}"
+        )
+    rng = ensure_rng(seed)
+    if first_center is None:
+        first_center = points[int(rng.integers(0, len(points)))]
+    else:
+        first_center = int(first_center)
+        if first_center not in set(points):
+            raise InvalidParameterError("first_center must be one of the points")
+
+    centers = [first_center]
+    # dist_to_centers[i] tracks the distance from points[i] to its closest center.
+    point_array = np.asarray(points, dtype=int)
+    dist_to_centers = space.distances_from(first_center, point_array)
+    nearest_center = np.full(len(points), first_center, dtype=int)
+
+    while len(centers) < k:
+        farthest_pos = int(np.argmax(dist_to_centers))
+        new_center = int(point_array[farthest_pos])
+        if new_center in centers:
+            # All remaining points coincide with existing centers; stop early.
+            break
+        centers.append(new_center)
+        new_dists = space.distances_from(new_center, point_array)
+        closer = new_dists < dist_to_centers
+        dist_to_centers = np.where(closer, new_dists, dist_to_centers)
+        nearest_center = np.where(closer, new_center, nearest_center)
+
+    assignment = {int(p): int(c) for p, c in zip(point_array, nearest_center)}
+    for c in centers:
+        assignment[c] = c
+    return ClusteringResult(centers=centers, assignment=assignment, n_queries=0)

@@ -1,0 +1,53 @@
+"""Robust maximum / minimum finding under noisy comparisons (Section 3 of the paper).
+
+The algorithms operate on an arbitrary set of record indices and a
+:class:`~repro.oracles.base.BaseComparisonOracle`.  The same code serves the
+scalar-value setting (via :class:`~repro.oracles.comparison.ValueComparisonOracle`)
+and the farthest/nearest-neighbour setting (via the quadruplet-backed
+comparison views in :mod:`repro.oracles.base`).
+
+Implemented algorithms
+----------------------
+* :func:`naive_max` — sequential scan keeping a running maximum (the
+  motivating *bad* baseline of Section 3.1).
+* :func:`count_max` — Algorithm 1: all-pairs Count scores.
+* :func:`tournament_max` — Algorithm 2: balanced lambda-ary tournament whose
+  internal nodes run Count-Max.
+* :func:`tournament_partition` — Algorithm 3: random partitions, degree-2
+  tournament per partition.
+* :func:`max_adversarial` — Algorithm 4 ("Max-Adv"): sampling + repeated
+  partition tournaments + final Count-Max.
+* :func:`max_probabilistic` — Algorithm 12 ("Count-Max-Prob"): iterative
+  sample-and-prune for the persistent probabilistic noise model.
+* ``find_minimum`` variants of all of the above via oracle reversal.
+"""
+
+from repro.maximum.adversarial import MaxAdvParameters, max_adversarial, min_adversarial
+from repro.maximum.count_max import count_max, count_min, count_scores
+from repro.maximum.naive import naive_max, naive_min
+from repro.maximum.probabilistic import (
+    MaxProbParameters,
+    max_probabilistic,
+    min_probabilistic,
+)
+from repro.maximum.ranking import rank_of, top_k_true
+from repro.maximum.tournament import tournament_max, tournament_min, tournament_partition
+
+__all__ = [
+    "naive_max",
+    "naive_min",
+    "count_max",
+    "count_min",
+    "count_scores",
+    "tournament_max",
+    "tournament_min",
+    "tournament_partition",
+    "MaxAdvParameters",
+    "max_adversarial",
+    "min_adversarial",
+    "MaxProbParameters",
+    "max_probabilistic",
+    "min_probabilistic",
+    "rank_of",
+    "top_k_true",
+]

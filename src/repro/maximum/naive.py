@@ -1,0 +1,41 @@
+"""Naive sequential maximum: the motivating negative example of Section 3.1.
+
+The scan keeps a running maximum and replaces it whenever the oracle says the
+next record is larger.  It uses exactly ``n - 1`` comparisons but, under
+adversarial noise, can return a value as small as ``v_max / (1 + mu)^(n-1)``
+because every single comparison along a chain can be wrong.  It is included
+as a baseline so experiments can demonstrate that failure mode.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import EmptyInputError
+from repro.oracles.base import BaseComparisonOracle, MinimizingComparisonOracle
+
+
+def naive_max(items: Sequence[int], oracle: BaseComparisonOracle) -> int:
+    """Return the index of an approximate maximum by a single sequential scan.
+
+    Parameters
+    ----------
+    items:
+        Record indices to search over (processed in the given order).
+    oracle:
+        Comparison oracle answering "is value(i) <= value(j)?".
+    """
+    items = [int(i) for i in items]
+    if not items:
+        raise EmptyInputError("naive_max needs at least one item")
+    current = items[0]
+    for candidate in items[1:]:
+        # Yes means current <= candidate, so the candidate takes over.
+        if oracle.compare(current, candidate):
+            current = candidate
+    return current
+
+
+def naive_min(items: Sequence[int], oracle: BaseComparisonOracle) -> int:
+    """Sequential-scan minimum; the mirror image of :func:`naive_max`."""
+    return naive_max(items, MinimizingComparisonOracle(oracle))

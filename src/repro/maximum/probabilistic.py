@@ -1,0 +1,186 @@
+"""Count-Max-Prob (Algorithm 12): maximum under persistent probabilistic noise.
+
+The algorithm repeatedly draws a small random anchor sample ``S_t``, computes
+``Count(u, S_t)`` for every remaining record ``u``, and discards records whose
+Count falls below a threshold — they cannot be the maximum with high
+probability.  The sampled anchors are also discarded (so Count scores of later
+rounds stay independent of earlier answers), and the loop continues until few
+records remain, which are then reduced with Count-Max.
+
+The returned record has rank ``O(log^2 (n / delta))`` with probability
+``1 - delta`` using ``O(n log^2 (n / delta))`` oracle queries (Theorem 3.7).
+
+The paper's constants (anchor sample of ``100 log(n/delta)`` records,
+threshold ``50 log(n/delta)``) are tuned for the asymptotic analysis; the
+implementation keeps the same *ratio* (threshold = half the anchor size) but
+exposes the anchor-size multiplier so small instances remain meaningful.  The
+paper itself notes the constants "are not optimized and set just to satisfy
+certain concentration bounds".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.maximum.count_max import count_max
+from repro.oracles.base import BaseComparisonOracle, MinimizingComparisonOracle
+from repro.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class MaxProbParameters:
+    """Resolved parameters of one Count-Max-Prob invocation.
+
+    Attributes
+    ----------
+    anchor_size:
+        Number of anchor records sampled per round (``100 log(n/delta)`` in
+        the paper, scaled by ``anchor_factor`` here).
+    threshold:
+        Minimum Count score (against the anchors) a record needs to survive a
+        round; always half the anchor size, as in the paper.
+    max_rounds:
+        Upper bound on the number of pruning rounds.
+    final_size:
+        Once at most this many records remain the loop stops and Count-Max
+        finishes the job.
+    """
+
+    anchor_size: int
+    threshold: float
+    max_rounds: int
+    final_size: int
+
+    @classmethod
+    def from_defaults(
+        cls,
+        n: int,
+        delta: float = 0.1,
+        anchor_factor: float = 8.0,
+        anchor_size: Optional[int] = None,
+        max_rounds: Optional[int] = None,
+        final_size: Optional[int] = None,
+    ) -> "MaxProbParameters":
+        """Fill unspecified parameters following the paper's recipe."""
+        if n < 1:
+            raise EmptyInputError("Count-Max-Prob needs at least one item")
+        if not 0.0 < delta < 1.0:
+            raise InvalidParameterError(f"delta must be in (0, 1), got {delta}")
+        if anchor_factor <= 0:
+            raise InvalidParameterError("anchor_factor must be positive")
+        log_term = max(1.0, math.log(max(2, n) / delta))
+        if anchor_size is None:
+            anchor_size = int(math.ceil(anchor_factor * log_term))
+        anchor_size = max(2, min(int(anchor_size), max(2, n - 1)))
+        if max_rounds is None:
+            max_rounds = max(1, int(math.ceil(math.log2(max(2, n)))) + 2)
+        if final_size is None:
+            final_size = max(anchor_size, 4)
+        return cls(
+            anchor_size=anchor_size,
+            threshold=anchor_size / 2.0,
+            max_rounds=int(max_rounds),
+            final_size=int(final_size),
+        )
+
+
+def _prune_round(
+    remaining: List[int],
+    oracle: BaseComparisonOracle,
+    params: MaxProbParameters,
+    rng,
+) -> List[int]:
+    """One round of Algorithm 12: sample anchors, keep records with high Count."""
+    anchor_count = min(params.anchor_size, len(remaining) - 1)
+    if anchor_count < 1:
+        return remaining
+    anchor_positions = rng.choice(len(remaining), size=anchor_count, replace=False)
+    anchor_set = {remaining[int(p)] for p in anchor_positions}
+    anchors = list(anchor_set)
+    threshold = (params.threshold / params.anchor_size) * len(anchors)
+    survivors: List[int] = []
+    for u in remaining:
+        if u in anchor_set:
+            continue
+        count = 0
+        for x in anchors:
+            # Count counts anchors the oracle believes are *smaller* than u.
+            if not oracle.compare(u, x):
+                count += 1
+        if count >= threshold:
+            survivors.append(u)
+    return survivors
+
+
+def max_probabilistic(
+    items: Sequence[int],
+    oracle: BaseComparisonOracle,
+    delta: float = 0.1,
+    anchor_factor: float = 8.0,
+    anchor_size: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+    seed: SeedLike = None,
+) -> int:
+    """Return an approximate maximum under persistent probabilistic noise (Algorithm 12).
+
+    Parameters
+    ----------
+    items:
+        Record indices to search over.
+    oracle:
+        Comparison oracle answering "is value(i) <= value(j)?".
+    delta:
+        Target failure probability.
+    anchor_factor:
+        Multiplier on ``log(n / delta)`` for the per-round anchor sample size.
+    anchor_size, max_rounds:
+        Optional explicit overrides (used by ablation benchmarks).
+    seed:
+        Seed for anchor sampling and final tie-breaking.
+    """
+    items = [int(i) for i in items]
+    if not items:
+        raise EmptyInputError("max_probabilistic needs at least one item")
+    rng = ensure_rng(seed)
+    params = MaxProbParameters.from_defaults(
+        len(items),
+        delta=delta,
+        anchor_factor=anchor_factor,
+        anchor_size=anchor_size,
+        max_rounds=max_rounds,
+    )
+    remaining = list(items)
+    rounds = 0
+    while len(remaining) > params.final_size and rounds < params.max_rounds:
+        survivors = _prune_round(remaining, oracle, params, rng)
+        rounds += 1
+        if not survivors:
+            # Every non-anchor was pruned: the maximum is almost surely among
+            # the current set; stop pruning and let Count-Max decide.
+            break
+        remaining = survivors
+    return count_max(remaining, oracle, seed=rng)
+
+
+def min_probabilistic(
+    items: Sequence[int],
+    oracle: BaseComparisonOracle,
+    delta: float = 0.1,
+    anchor_factor: float = 8.0,
+    anchor_size: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+    seed: SeedLike = None,
+) -> int:
+    """Approximate minimum under probabilistic noise, by reversing the oracle."""
+    return max_probabilistic(
+        items,
+        MinimizingComparisonOracle(oracle),
+        delta=delta,
+        anchor_factor=anchor_factor,
+        anchor_size=anchor_size,
+        max_rounds=max_rounds,
+        seed=seed,
+    )

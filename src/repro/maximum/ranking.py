@@ -1,0 +1,77 @@
+"""Rank utilities used to evaluate maximum-finding algorithms.
+
+The probabilistic guarantees of the paper are stated in terms of the *rank*
+of the returned record in the true sorted order (rank 1 = maximum), so the
+experiment harness needs a ground-truth rank function.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+
+
+def rank_of(values: Sequence[float], index: int, descending: bool = True) -> int:
+    """Rank (1-based) of ``values[index]`` in sorted order.
+
+    Parameters
+    ----------
+    values:
+        Ground-truth values.
+    index:
+        Record whose rank is requested.
+    descending:
+        When true (default) rank 1 is the maximum; otherwise rank 1 is the
+        minimum.  Ties are resolved by original position (stable), matching
+        the paper's convention that ranks are a permutation.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or len(values) == 0:
+        raise EmptyInputError("values must be a non-empty 1-D sequence")
+    index = int(index)
+    if not 0 <= index < len(values):
+        raise InvalidParameterError(f"index {index} out of range")
+    keys = -values if descending else values
+    order = np.argsort(keys, kind="stable")
+    return int(np.where(order == index)[0][0]) + 1
+
+
+def top_k_true(values: Sequence[float], k: int, descending: bool = True) -> np.ndarray:
+    """Indices of the true top-*k* records (by value, descending by default)."""
+    values = np.asarray(values, dtype=float)
+    if k < 1 or k > len(values):
+        raise InvalidParameterError(
+            f"k must be between 1 and {len(values)}, got {k}"
+        )
+    keys = -values if descending else values
+    order = np.argsort(keys, kind="stable")
+    return order[:k]
+
+
+def approximation_ratio(
+    values: Sequence[float], index: int, reference: str = "max"
+) -> float:
+    """Multiplicative approximation ratio of the returned record against the optimum.
+
+    For ``reference == "max"`` the ratio is ``v_max / value[index]`` (>= 1,
+    1 is optimal); for ``"min"`` it is ``value[index] / v_min``.
+    Zero denominators return ``inf`` unless the numerator is also zero.
+    """
+    values = np.asarray(values, dtype=float)
+    index = int(index)
+    if not 0 <= index < len(values):
+        raise InvalidParameterError(f"index {index} out of range")
+    if reference == "max":
+        numerator = float(np.max(values))
+        denominator = float(values[index])
+    elif reference == "min":
+        numerator = float(values[index])
+        denominator = float(np.min(values))
+    else:
+        raise InvalidParameterError("reference must be 'max' or 'min'")
+    if denominator == 0.0:
+        return 1.0 if numerator == 0.0 else float("inf")
+    return numerator / denominator

@@ -1,0 +1,104 @@
+"""Tournament-based maximum finding (Algorithms 2 and 3 of the paper).
+
+``tournament_max`` builds a balanced lambda-ary tree over a random
+permutation of the input, runs Count-Max at every internal node, and returns
+the value that reaches the root.  With degree 2 this is the classic binary
+tournament (the ``Tour2`` baseline); with degree ``Theta(n)`` it degenerates
+to a single Count-Max call.
+
+``tournament_partition`` randomly splits the input into ``l`` parts and runs
+a degree-2 tournament inside each part, returning the per-part winners — the
+building block of Max-Adv (Algorithm 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.maximum.count_max import count_max
+from repro.oracles.base import BaseComparisonOracle, MinimizingComparisonOracle
+from repro.rng import SeedLike, ensure_rng
+
+
+def tournament_max(
+    items: Sequence[int],
+    oracle: BaseComparisonOracle,
+    degree: int = 2,
+    seed: SeedLike = None,
+) -> int:
+    """Return the winner of a balanced *degree*-ary tournament (Algorithm 2).
+
+    Parameters
+    ----------
+    items:
+        Record indices entering the tournament.
+    oracle:
+        Comparison oracle.
+    degree:
+        Arity ``lambda`` of the tournament tree; each internal node runs
+        Count-Max over at most *degree* children.
+    seed:
+        Seed for the random leaf permutation and Count-Max tie-breaking.
+    """
+    items = [int(i) for i in items]
+    if not items:
+        raise EmptyInputError("tournament_max needs at least one item")
+    if degree < 2:
+        raise InvalidParameterError(f"tournament degree must be >= 2, got {degree}")
+    rng = ensure_rng(seed)
+    # Random permutation of the leaves (line 4 of Algorithm 2).
+    current: List[int] = [items[i] for i in rng.permutation(len(items))]
+    while len(current) > 1:
+        next_round: List[int] = []
+        for start in range(0, len(current), degree):
+            group = current[start : start + degree]
+            if len(group) == 1:
+                next_round.append(group[0])
+            else:
+                next_round.append(count_max(group, oracle, seed=rng))
+        current = next_round
+    return current[0]
+
+
+def tournament_min(
+    items: Sequence[int],
+    oracle: BaseComparisonOracle,
+    degree: int = 2,
+    seed: SeedLike = None,
+) -> int:
+    """Tournament that selects the minimum instead of the maximum."""
+    return tournament_max(
+        items, MinimizingComparisonOracle(oracle), degree=degree, seed=seed
+    )
+
+
+def tournament_partition(
+    items: Sequence[int],
+    oracle: BaseComparisonOracle,
+    n_partitions: int,
+    seed: SeedLike = None,
+    degree: int = 2,
+) -> List[int]:
+    """Randomly partition *items* and return each partition's tournament winner (Algorithm 3).
+
+    Partitions are as equal-sized as possible.  ``n_partitions`` is clamped to
+    the number of items so every partition is non-empty.
+    """
+    items = [int(i) for i in items]
+    if not items:
+        raise EmptyInputError("tournament_partition needs at least one item")
+    if n_partitions < 1:
+        raise InvalidParameterError(
+            f"n_partitions must be at least 1, got {n_partitions}"
+        )
+    n_partitions = min(n_partitions, len(items))
+    rng = ensure_rng(seed)
+    permuted = [items[i] for i in rng.permutation(len(items))]
+    winners: List[int] = []
+    for part in range(n_partitions):
+        partition = permuted[part::n_partitions]
+        if not partition:
+            continue
+        winners.append(tournament_max(partition, oracle, degree=degree, seed=rng))
+    return winners

@@ -1,0 +1,41 @@
+"""Metric substrate: distance functions, metric spaces and validation.
+
+The algorithms in the paper never read coordinates directly — they only see
+oracle answers about *relative* distances.  The :class:`MetricSpace`
+abstraction therefore plays two roles:
+
+* it is the hidden ground truth that noisy oracles are built on top of, and
+* it is the yardstick used by the evaluation code to score the solutions the
+  noisy algorithms return.
+"""
+
+from repro.metric.distances import (
+    chebyshev_distance,
+    cosine_distance,
+    euclidean_distance,
+    haversine_distance,
+    manhattan_distance,
+    minkowski_distance,
+)
+from repro.metric.space import (
+    DistanceMatrixSpace,
+    MetricSpace,
+    PointCloudSpace,
+    ValueSpace,
+)
+from repro.metric.validation import check_metric_axioms, is_metric
+
+__all__ = [
+    "MetricSpace",
+    "PointCloudSpace",
+    "DistanceMatrixSpace",
+    "ValueSpace",
+    "euclidean_distance",
+    "manhattan_distance",
+    "chebyshev_distance",
+    "minkowski_distance",
+    "cosine_distance",
+    "haversine_distance",
+    "check_metric_axioms",
+    "is_metric",
+]

@@ -1,0 +1,116 @@
+"""Vectorised distance functions between points represented as NumPy arrays.
+
+Every function takes two 1-D arrays (single points) or 2-D arrays (batches of
+points, one per row) and broadcasts in the usual NumPy way.  All functions
+return non-negative floats and are symmetric in their arguments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+def _as_float_array(x) -> np.ndarray:
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    return arr
+
+
+def euclidean_distance(a, b) -> np.ndarray | float:
+    """Euclidean (L2) distance between *a* and *b*."""
+    a = _as_float_array(a)
+    b = _as_float_array(b)
+    diff = a - b
+    return float(np.sqrt(np.sum(diff * diff))) if diff.ndim == 1 else np.sqrt(
+        np.sum(diff * diff, axis=-1)
+    )
+
+
+def manhattan_distance(a, b) -> np.ndarray | float:
+    """Manhattan (L1) distance between *a* and *b*."""
+    a = _as_float_array(a)
+    b = _as_float_array(b)
+    diff = np.abs(a - b)
+    return float(np.sum(diff)) if diff.ndim == 1 else np.sum(diff, axis=-1)
+
+
+def chebyshev_distance(a, b) -> np.ndarray | float:
+    """Chebyshev (L-infinity) distance between *a* and *b*."""
+    a = _as_float_array(a)
+    b = _as_float_array(b)
+    diff = np.abs(a - b)
+    return float(np.max(diff)) if diff.ndim == 1 else np.max(diff, axis=-1)
+
+
+def minkowski_distance(a, b, p: float = 2.0) -> np.ndarray | float:
+    """Minkowski distance of order *p* (``p >= 1``) between *a* and *b*."""
+    if p < 1:
+        raise InvalidParameterError(f"Minkowski order p must be >= 1, got {p}")
+    a = _as_float_array(a)
+    b = _as_float_array(b)
+    diff = np.abs(a - b) ** p
+    total = np.sum(diff) if diff.ndim == 1 else np.sum(diff, axis=-1)
+    result = total ** (1.0 / p)
+    return float(result) if np.ndim(result) == 0 else result
+
+
+def cosine_distance(a, b) -> np.ndarray | float:
+    """Cosine distance ``1 - cos(a, b)``; zero vectors are at distance 1 from everything.
+
+    Note that cosine distance is not a true metric (it violates the triangle
+    inequality in general); it is provided because similarity-derived
+    distances such as the paper's ``1 - similarity`` example behave this way.
+    """
+    a = _as_float_array(a)
+    b = _as_float_array(b)
+    if a.ndim == 1:
+        na = np.linalg.norm(a)
+        nb = np.linalg.norm(b)
+        if na == 0.0 or nb == 0.0:
+            return 1.0
+        return float(1.0 - np.dot(a, b) / (na * nb))
+    na = np.linalg.norm(a, axis=-1)
+    nb = np.linalg.norm(b, axis=-1)
+    dot = np.sum(a * b, axis=-1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        sim = np.where((na == 0) | (nb == 0), 0.0, dot / (na * nb))
+    return 1.0 - sim
+
+
+def haversine_distance(a, b, radius_km: float = EARTH_RADIUS_KM) -> np.ndarray | float:
+    """Great-circle distance in kilometres between (lat, lon) pairs given in degrees."""
+    a = _as_float_array(a)
+    b = _as_float_array(b)
+    lat1, lon1 = np.radians(a[..., 0]), np.radians(a[..., 1])
+    lat2, lon2 = np.radians(b[..., 0]), np.radians(b[..., 1])
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = np.sin(dlat / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    h = np.clip(h, 0.0, 1.0)
+    result = 2.0 * radius_km * np.arcsin(np.sqrt(h))
+    return float(result) if np.ndim(result) == 0 else result
+
+
+DISTANCE_FUNCTIONS = {
+    "euclidean": euclidean_distance,
+    "manhattan": manhattan_distance,
+    "chebyshev": chebyshev_distance,
+    "cosine": cosine_distance,
+    "haversine": haversine_distance,
+}
+
+
+def get_distance_function(name: str):
+    """Look up a distance function by name; raises for unknown names."""
+    try:
+        return DISTANCE_FUNCTIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(DISTANCE_FUNCTIONS))
+        raise InvalidParameterError(
+            f"unknown distance function {name!r}; known functions: {known}"
+        ) from None

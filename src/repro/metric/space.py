@@ -1,0 +1,266 @@
+"""Metric-space abstractions used as the hidden ground truth behind oracles.
+
+A :class:`MetricSpace` knows how many records it holds and how to compute the
+true distance between any two of them.  Algorithms in this library never call
+``distance`` directly — they talk to an oracle — but the oracle and the
+evaluation code both need the ground truth, which is what these classes
+provide.
+
+Three concrete implementations cover every use in the library:
+
+* :class:`PointCloudSpace` — records are rows of a coordinate matrix and the
+  distance is any callable from :mod:`repro.metric.distances`.
+* :class:`DistanceMatrixSpace` — records are indices into an explicit
+  pairwise-distance matrix (used for taxonomy/tree ground truths).
+* :class:`ValueSpace` — records carry scalar *values* rather than positions;
+  it adapts the one-dimensional "find the maximum of a set of values" setting
+  of Section 2 of the paper to the same interface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.metric.distances import euclidean_distance
+
+
+class MetricSpace:
+    """Abstract base class: a finite set of records with a distance function."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def n_points(self) -> int:
+        """Number of records in the space."""
+        return len(self)
+
+    def distance(self, i: int, j: int) -> float:
+        """True distance between records *i* and *j*."""
+        raise NotImplementedError
+
+    # -- convenience helpers shared by all implementations -------------------
+
+    def indices(self) -> np.ndarray:
+        """All record indices as an integer array."""
+        return np.arange(len(self))
+
+    def _check_index(self, i: int) -> int:
+        i = int(i)
+        if not 0 <= i < len(self):
+            raise InvalidParameterError(
+                f"index {i} out of range for space with {len(self)} points"
+            )
+        return i
+
+    def distances_from(self, i: int, candidates: Optional[Sequence[int]] = None) -> np.ndarray:
+        """True distances from record *i* to each record in *candidates* (default: all)."""
+        i = self._check_index(i)
+        if candidates is None:
+            candidates = range(len(self))
+        return np.array([self.distance(i, j) for j in candidates], dtype=float)
+
+    def pairwise_distances(self) -> np.ndarray:
+        """Full symmetric pairwise-distance matrix (O(n^2) memory)."""
+        n = len(self)
+        matrix = np.zeros((n, n), dtype=float)
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = self.distance(i, j)
+                matrix[i, j] = d
+                matrix[j, i] = d
+        return matrix
+
+    def farthest_from(self, i: int, candidates: Optional[Sequence[int]] = None) -> int:
+        """Index of the true farthest record from *i* among *candidates* (excluding *i*)."""
+        i = self._check_index(i)
+        if candidates is None:
+            candidates = [j for j in range(len(self)) if j != i]
+        else:
+            candidates = [int(j) for j in candidates if int(j) != i]
+        if not candidates:
+            raise EmptyInputError("no candidates to search for farthest point")
+        dists = self.distances_from(i, candidates)
+        return int(candidates[int(np.argmax(dists))])
+
+    def nearest_to(self, i: int, candidates: Optional[Sequence[int]] = None) -> int:
+        """Index of the true nearest record to *i* among *candidates* (excluding *i*)."""
+        i = self._check_index(i)
+        if candidates is None:
+            candidates = [j for j in range(len(self)) if j != i]
+        else:
+            candidates = [int(j) for j in candidates if int(j) != i]
+        if not candidates:
+            raise EmptyInputError("no candidates to search for nearest point")
+        dists = self.distances_from(i, candidates)
+        return int(candidates[int(np.argmin(dists))])
+
+
+class PointCloudSpace(MetricSpace):
+    """Records are rows of a coordinate matrix; distance is a callable on rows.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    distance_fn:
+        Callable mapping two coordinate vectors to a float.  Defaults to the
+        Euclidean distance.
+    labels:
+        Optional ground-truth cluster labels (one integer per record) used by
+        evaluation code; the algorithms themselves never see them.
+    cache:
+        When true (the default for fewer than ``cache_limit`` points) computed
+        distances are memoised in a dense matrix.
+    """
+
+    def __init__(
+        self,
+        points,
+        distance_fn: Callable = euclidean_distance,
+        labels: Optional[Sequence[int]] = None,
+        cache: Optional[bool] = None,
+        cache_limit: int = 4096,
+    ):
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            points = points.reshape(-1, 1)
+        if points.ndim != 2:
+            raise InvalidParameterError(
+                f"points must be a 2-D array, got shape {points.shape}"
+            )
+        if len(points) == 0:
+            raise EmptyInputError("a metric space needs at least one point")
+        self.points = points
+        self.distance_fn = distance_fn
+        self.labels = None if labels is None else np.asarray(labels, dtype=int)
+        if self.labels is not None and len(self.labels) != len(points):
+            raise InvalidParameterError(
+                "labels must have the same length as points "
+                f"({len(self.labels)} != {len(points)})"
+            )
+        if cache is None:
+            cache = len(points) <= cache_limit
+        self._cache: Optional[np.ndarray] = None
+        if cache:
+            self._cache = np.full((len(points), len(points)), np.nan, dtype=float)
+            np.fill_diagonal(self._cache, 0.0)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the coordinate representation."""
+        return self.points.shape[1]
+
+    def distance(self, i: int, j: int) -> float:
+        i = self._check_index(i)
+        j = self._check_index(j)
+        if i == j:
+            return 0.0
+        if self._cache is not None:
+            cached = self._cache[i, j]
+            if not np.isnan(cached):
+                return float(cached)
+        d = float(self.distance_fn(self.points[i], self.points[j]))
+        if self._cache is not None:
+            self._cache[i, j] = d
+            self._cache[j, i] = d
+        return d
+
+    def distances_from(self, i: int, candidates: Optional[Sequence[int]] = None) -> np.ndarray:
+        i = self._check_index(i)
+        if candidates is None:
+            candidates = np.arange(len(self))
+        else:
+            candidates = np.asarray(list(candidates), dtype=int)
+        # Vectorised path for the default Euclidean distance; falls back to the
+        # generic per-pair loop for arbitrary callables.
+        if self.distance_fn is euclidean_distance:
+            diff = self.points[candidates] - self.points[i]
+            return np.sqrt(np.sum(diff * diff, axis=1))
+        return np.array([self.distance(i, int(j)) for j in candidates], dtype=float)
+
+
+class DistanceMatrixSpace(MetricSpace):
+    """Records are indices into an explicit, precomputed distance matrix."""
+
+    def __init__(self, matrix, labels: Optional[Sequence[int]] = None):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise InvalidParameterError(
+                f"distance matrix must be square, got shape {matrix.shape}"
+            )
+        if len(matrix) == 0:
+            raise EmptyInputError("a metric space needs at least one point")
+        if np.any(matrix < 0):
+            raise InvalidParameterError("distances must be non-negative")
+        if not np.allclose(matrix, matrix.T):
+            raise InvalidParameterError("distance matrix must be symmetric")
+        self.matrix = matrix
+        self.labels = None if labels is None else np.asarray(labels, dtype=int)
+        if self.labels is not None and len(self.labels) != len(matrix):
+            raise InvalidParameterError("labels must have the same length as the matrix")
+
+    def __len__(self) -> int:
+        return len(self.matrix)
+
+    def distance(self, i: int, j: int) -> float:
+        i = self._check_index(i)
+        j = self._check_index(j)
+        return float(self.matrix[i, j])
+
+    def distances_from(self, i: int, candidates: Optional[Sequence[int]] = None) -> np.ndarray:
+        i = self._check_index(i)
+        if candidates is None:
+            return self.matrix[i].copy()
+        candidates = np.asarray(list(candidates), dtype=int)
+        return self.matrix[i, candidates]
+
+
+class ValueSpace(MetricSpace):
+    """Records carry scalar values; "distance" from the origin record is the value itself.
+
+    This adapts the plain comparison-oracle setting of Problem 2.2 (find the
+    maximum of a set of values) to the same interface used by the distance
+    algorithms: ``distance(i, j)`` is defined as ``|value_i - value_j|`` and
+    the per-record value is exposed through :meth:`value`.
+    """
+
+    def __init__(self, values):
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 1:
+            raise InvalidParameterError("values must be a 1-D array")
+        if len(values) == 0:
+            raise EmptyInputError("a value space needs at least one value")
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def value(self, i: int) -> float:
+        """The scalar value carried by record *i*."""
+        return float(self.values[self._check_index(i)])
+
+    def distance(self, i: int, j: int) -> float:
+        i = self._check_index(i)
+        j = self._check_index(j)
+        return float(abs(self.values[i] - self.values[j]))
+
+    def argmax(self) -> int:
+        """Index of the true maximum value."""
+        return int(np.argmax(self.values))
+
+    def argmin(self) -> int:
+        """Index of the true minimum value."""
+        return int(np.argmin(self.values))
+
+    def rank_of(self, i: int) -> int:
+        """Rank of record *i* in non-increasing value order (1 = maximum)."""
+        i = self._check_index(i)
+        order = np.argsort(-self.values, kind="stable")
+        return int(np.where(order == i)[0][0]) + 1

@@ -1,0 +1,122 @@
+"""Checks that a distance function on a finite space satisfies the metric axioms.
+
+The probabilistic-noise guarantees in the paper (Theorem 3.10, Theorem 4.4)
+exploit the triangle inequality, so the library offers a way to verify that a
+ground-truth space actually is a metric before trusting those guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import NotAMetricError
+from repro.metric.space import MetricSpace
+from repro.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class MetricViolation:
+    """A single recorded violation of a metric axiom."""
+
+    axiom: str
+    indices: tuple
+    detail: str
+
+
+@dataclass
+class MetricCheckReport:
+    """Result of :func:`check_metric_axioms`."""
+
+    n_checked_pairs: int = 0
+    n_checked_triangles: int = 0
+    violations: List[MetricViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations were recorded."""
+        return not self.violations
+
+
+def check_metric_axioms(
+    space: MetricSpace,
+    max_points: int = 64,
+    tolerance: float = 1e-9,
+    seed: SeedLike = None,
+    raise_on_violation: bool = False,
+) -> MetricCheckReport:
+    """Check non-negativity, identity, symmetry and the triangle inequality.
+
+    For spaces larger than *max_points* a random subset of that size is
+    checked, which keeps the cost at ``O(max_points ** 3)``.
+
+    Parameters
+    ----------
+    space:
+        The ground-truth space to validate.
+    max_points:
+        Maximum number of points included in the check.
+    tolerance:
+        Absolute slack allowed before an inequality counts as violated.
+    seed:
+        Seed for the subset selection.
+    raise_on_violation:
+        When true, raise :class:`NotAMetricError` on the first violation
+        instead of recording it.
+    """
+    rng = ensure_rng(seed)
+    n = len(space)
+    if n <= max_points:
+        subset = np.arange(n)
+    else:
+        subset = rng.choice(n, size=max_points, replace=False)
+
+    report = MetricCheckReport()
+
+    def record(axiom: str, indices: tuple, detail: str) -> None:
+        violation = MetricViolation(axiom=axiom, indices=indices, detail=detail)
+        if raise_on_violation:
+            raise NotAMetricError(f"{axiom} violated at {indices}: {detail}")
+        report.violations.append(violation)
+
+    for i in subset:
+        d_ii = space.distance(int(i), int(i))
+        if abs(d_ii) > tolerance:
+            record("identity", (int(i),), f"d(i, i) = {d_ii}")
+
+    for i, j in combinations(subset.tolist(), 2):
+        report.n_checked_pairs += 1
+        d_ij = space.distance(i, j)
+        d_ji = space.distance(j, i)
+        if d_ij < -tolerance:
+            record("non-negativity", (i, j), f"d = {d_ij}")
+        if abs(d_ij - d_ji) > tolerance:
+            record("symmetry", (i, j), f"d(i, j) = {d_ij}, d(j, i) = {d_ji}")
+
+    for i, j, k in combinations(subset.tolist(), 3):
+        report.n_checked_triangles += 1
+        d_ij = space.distance(i, j)
+        d_jk = space.distance(j, k)
+        d_ik = space.distance(i, k)
+        if d_ik > d_ij + d_jk + tolerance:
+            record(
+                "triangle",
+                (i, j, k),
+                f"d(i, k) = {d_ik} > d(i, j) + d(j, k) = {d_ij + d_jk}",
+            )
+    return report
+
+
+def is_metric(
+    space: MetricSpace,
+    max_points: int = 64,
+    tolerance: float = 1e-9,
+    seed: Optional[SeedLike] = None,
+) -> bool:
+    """Convenience wrapper: ``True`` when :func:`check_metric_axioms` finds no violation."""
+    return check_metric_axioms(
+        space, max_points=max_points, tolerance=tolerance, seed=seed
+    ).ok

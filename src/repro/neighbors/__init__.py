@@ -1,0 +1,47 @@
+"""Farthest and nearest-neighbour search with a noisy quadruplet oracle (Section 3.3).
+
+The farthest (nearest) neighbour of a query record ``q`` is the record with
+the maximum (minimum) value in the set ``D(q) = {d(q, v) : v in V}``, so the
+maximum-finding algorithms of :mod:`repro.maximum` apply directly through the
+"distance-from-q" comparison view.  Under probabilistic noise a single
+quadruplet answer cannot be trusted, so comparisons are made robust with the
+PairwiseComp subroutine (Algorithm 5), which aggregates quadruplet queries
+over an anchor set ``S`` of records known to be close to ``q``.
+"""
+
+from repro.neighbors.exact import exact_farthest, exact_nearest
+from repro.neighbors.farthest import (
+    farthest_adversarial,
+    farthest_probabilistic,
+    farthest_tour2,
+    farthest_samp,
+)
+from repro.neighbors.nearest import (
+    nearest_adversarial,
+    nearest_probabilistic,
+    nearest_tour2,
+    nearest_samp,
+)
+from repro.neighbors.pairwise import (
+    PairwiseCompOracle,
+    fcount,
+    pairwise_comp,
+    select_anchor_set,
+)
+
+__all__ = [
+    "exact_farthest",
+    "exact_nearest",
+    "pairwise_comp",
+    "fcount",
+    "PairwiseCompOracle",
+    "select_anchor_set",
+    "farthest_adversarial",
+    "farthest_probabilistic",
+    "farthest_tour2",
+    "farthest_samp",
+    "nearest_adversarial",
+    "nearest_probabilistic",
+    "nearest_tour2",
+    "nearest_samp",
+]

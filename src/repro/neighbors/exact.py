@@ -1,0 +1,25 @@
+"""Ground-truth farthest / nearest neighbour (the ``TDist`` baseline).
+
+These helpers bypass the oracle entirely and read the hidden metric, so they
+are only used as the optimum that noisy algorithms are scored against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.metric.space import MetricSpace
+
+
+def exact_farthest(
+    space: MetricSpace, query: int, candidates: Optional[Sequence[int]] = None
+) -> int:
+    """True farthest record from *query* among *candidates* (default: all other records)."""
+    return space.farthest_from(query, candidates)
+
+
+def exact_nearest(
+    space: MetricSpace, query: int, candidates: Optional[Sequence[int]] = None
+) -> int:
+    """True nearest record to *query* among *candidates* (default: all other records)."""
+    return space.nearest_to(query, candidates)

@@ -1,0 +1,142 @@
+"""Farthest-neighbour search under adversarial and probabilistic noise.
+
+The farthest neighbour of a query ``q`` is the record maximising ``d(q, v)``,
+so every routine here is a maximum-finding algorithm from
+:mod:`repro.maximum` run over a comparison view in which record ``v`` carries
+the value ``d(q, v)``:
+
+* **adversarial noise** — one quadruplet query ``O(q, i, q, j)`` per
+  comparison, reduced with Max-Adv (Algorithm 4 + Theorem 3.6 extension).
+* **probabilistic noise** — each comparison is made robust with PairwiseComp
+  over an anchor set of records close to ``q`` (Algorithm 16 / Theorem 3.10).
+* **Tour2 / Samp** — the two baselines used throughout the paper's
+  evaluation (binary tournament; sqrt(n)-sample Count-Max).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.exceptions import EmptyInputError
+from repro.maximum.adversarial import max_adversarial
+from repro.maximum.count_max import count_max
+from repro.maximum.tournament import tournament_max
+from repro.neighbors.pairwise import PairwiseCompOracle, select_anchor_set
+from repro.oracles.base import BaseQuadrupletOracle, distance_comparison_view
+from repro.rng import SeedLike, ensure_rng
+
+
+def _candidate_list(
+    n: int, query: int, candidates: Optional[Sequence[int]]
+) -> list[int]:
+    query = int(query)
+    if candidates is None:
+        items = [i for i in range(n) if i != query]
+    else:
+        items = [int(i) for i in candidates if int(i) != query]
+    if not items:
+        raise EmptyInputError("no candidate records to search over")
+    return items
+
+
+def farthest_adversarial(
+    oracle: BaseQuadrupletOracle,
+    query: int,
+    candidates: Optional[Sequence[int]] = None,
+    delta: float = 0.1,
+    n_iterations: Optional[int] = None,
+    seed: SeedLike = None,
+) -> int:
+    """Approximate farthest neighbour of *query* under adversarial noise.
+
+    Runs Max-Adv over the "distance from *query*" comparison view; the
+    returned record is within a ``(1 + mu)^3`` factor of the true farthest
+    distance with probability ``1 - delta``.
+    """
+    items = _candidate_list(len(oracle), query, candidates)
+    view = distance_comparison_view(oracle, query, minimize=False)
+    return max_adversarial(
+        items, view, delta=delta, n_iterations=n_iterations, seed=seed
+    )
+
+
+def farthest_probabilistic(
+    oracle: BaseQuadrupletOracle,
+    query: int,
+    anchors: Optional[Sequence[int]] = None,
+    candidates: Optional[Sequence[int]] = None,
+    delta: float = 0.1,
+    anchor_size: Optional[int] = None,
+    space=None,
+    seed: SeedLike = None,
+) -> int:
+    """Approximate farthest neighbour of *query* under probabilistic noise (Theorem 3.10).
+
+    Parameters
+    ----------
+    oracle:
+        Noisy quadruplet oracle.
+    query:
+        The query record.
+    anchors:
+        Anchor set ``S`` of records close to *query*.  When omitted it is
+        selected from the ground-truth *space* (``Theta(log(n / delta))``
+        nearest records), matching the paper's assumption that such a set is
+        available.
+    candidates:
+        Records to search over (default: everything except the query).
+    delta:
+        Target failure probability.
+    anchor_size:
+        Override for ``|S|`` when the anchor set is auto-selected.
+    space:
+        Ground-truth metric space, required only when *anchors* is omitted.
+    seed:
+        Seed for Max-Adv randomisation.
+    """
+    items = _candidate_list(len(oracle), query, candidates)
+    if anchors is None:
+        if space is None:
+            space = getattr(oracle, "space", None)
+        if space is None:
+            raise EmptyInputError(
+                "farthest_probabilistic needs either an explicit anchor set "
+                "or a ground-truth space to select one from"
+            )
+        if anchor_size is None:
+            anchor_size = max(3, int(math.ceil(math.log(max(2, len(items)) / delta))))
+        anchors = select_anchor_set(space, query, anchor_size, candidates=items)
+    robust_view = PairwiseCompOracle(oracle, anchors, minimize=False)
+    return max_adversarial(items, robust_view, delta=delta, seed=seed)
+
+
+def farthest_tour2(
+    oracle: BaseQuadrupletOracle,
+    query: int,
+    candidates: Optional[Sequence[int]] = None,
+    seed: SeedLike = None,
+) -> int:
+    """``Tour2`` baseline: binary tournament over the distance-from-query view."""
+    items = _candidate_list(len(oracle), query, candidates)
+    view = distance_comparison_view(oracle, query, minimize=False)
+    return tournament_max(items, view, degree=2, seed=seed)
+
+
+def farthest_samp(
+    oracle: BaseQuadrupletOracle,
+    query: int,
+    candidates: Optional[Sequence[int]] = None,
+    sample_size: Optional[int] = None,
+    seed: SeedLike = None,
+) -> int:
+    """``Samp`` baseline: Count-Max over a uniform sample of ``sqrt(n)`` candidates."""
+    items = _candidate_list(len(oracle), query, candidates)
+    rng = ensure_rng(seed)
+    if sample_size is None:
+        sample_size = max(1, int(math.isqrt(len(items))))
+    sample_size = min(sample_size, len(items))
+    positions = rng.choice(len(items), size=sample_size, replace=False)
+    sample = [items[int(p)] for p in positions]
+    view = distance_comparison_view(oracle, query, minimize=False)
+    return count_max(sample, view, seed=rng)

@@ -1,0 +1,105 @@
+"""Nearest-neighbour search under adversarial and probabilistic noise.
+
+Nearest-neighbour queries are minimum-finding over the same
+"distance-from-query" views used for the farthest neighbour; every routine
+here mirrors its counterpart in :mod:`repro.neighbors.farthest` with the
+comparison direction reversed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.exceptions import EmptyInputError
+from repro.maximum.adversarial import max_adversarial
+from repro.maximum.count_max import count_max
+from repro.maximum.tournament import tournament_max
+from repro.neighbors.farthest import _candidate_list
+from repro.neighbors.pairwise import PairwiseCompOracle, select_anchor_set
+from repro.oracles.base import BaseQuadrupletOracle, distance_comparison_view
+from repro.rng import SeedLike, ensure_rng
+
+
+def nearest_adversarial(
+    oracle: BaseQuadrupletOracle,
+    query: int,
+    candidates: Optional[Sequence[int]] = None,
+    delta: float = 0.1,
+    n_iterations: Optional[int] = None,
+    seed: SeedLike = None,
+) -> int:
+    """Approximate nearest neighbour of *query* under adversarial noise.
+
+    Runs Max-Adv over the reversed "distance from *query*" view; the returned
+    record's distance is within a ``(1 + mu)^3`` factor of the true nearest
+    distance with probability ``1 - delta``.
+    """
+    items = _candidate_list(len(oracle), query, candidates)
+    view = distance_comparison_view(oracle, query, minimize=True)
+    return max_adversarial(
+        items, view, delta=delta, n_iterations=n_iterations, seed=seed
+    )
+
+
+def nearest_probabilistic(
+    oracle: BaseQuadrupletOracle,
+    query: int,
+    anchors: Optional[Sequence[int]] = None,
+    candidates: Optional[Sequence[int]] = None,
+    delta: float = 0.1,
+    anchor_size: Optional[int] = None,
+    space=None,
+    seed: SeedLike = None,
+) -> int:
+    """Approximate nearest neighbour of *query* under probabilistic noise.
+
+    Comparisons are made robust with PairwiseComp over an anchor set of
+    records close to *query* (auto-selected from the ground truth when not
+    supplied), then reduced with Max-Adv over the reversed ordering.
+    """
+    items = _candidate_list(len(oracle), query, candidates)
+    if anchors is None:
+        if space is None:
+            space = getattr(oracle, "space", None)
+        if space is None:
+            raise EmptyInputError(
+                "nearest_probabilistic needs either an explicit anchor set "
+                "or a ground-truth space to select one from"
+            )
+        if anchor_size is None:
+            anchor_size = max(3, int(math.ceil(math.log(max(2, len(items)) / delta))))
+        anchors = select_anchor_set(space, query, anchor_size, candidates=items)
+    robust_view = PairwiseCompOracle(oracle, anchors, minimize=True)
+    return max_adversarial(items, robust_view, delta=delta, seed=seed)
+
+
+def nearest_tour2(
+    oracle: BaseQuadrupletOracle,
+    query: int,
+    candidates: Optional[Sequence[int]] = None,
+    seed: SeedLike = None,
+) -> int:
+    """``Tour2`` baseline for the nearest neighbour: binary tournament, reversed view."""
+    items = _candidate_list(len(oracle), query, candidates)
+    view = distance_comparison_view(oracle, query, minimize=True)
+    return tournament_max(items, view, degree=2, seed=seed)
+
+
+def nearest_samp(
+    oracle: BaseQuadrupletOracle,
+    query: int,
+    candidates: Optional[Sequence[int]] = None,
+    sample_size: Optional[int] = None,
+    seed: SeedLike = None,
+) -> int:
+    """``Samp`` baseline for the nearest neighbour: Count-Max over a sqrt(n) sample."""
+    items = _candidate_list(len(oracle), query, candidates)
+    rng = ensure_rng(seed)
+    if sample_size is None:
+        sample_size = max(1, int(math.isqrt(len(items))))
+    sample_size = min(sample_size, len(items))
+    positions = rng.choice(len(items), size=sample_size, replace=False)
+    sample = [items[int(p)] for p in positions]
+    view = distance_comparison_view(oracle, query, minimize=True)
+    return count_max(sample, view, seed=rng)

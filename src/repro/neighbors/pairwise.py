@@ -1,0 +1,185 @@
+"""PairwiseComp (Algorithm 5): robust relative-distance comparisons under probabilistic noise.
+
+A single quadruplet answer ``O(q, v_i, q, v_j)`` is wrong with constant
+probability ``p`` and repetition does not help (persistent noise).  The paper
+boosts reliability by aggregating over an *anchor set* ``S`` of records known
+to lie within distance ``alpha`` of the query ``q``:
+
+``FCount(v_i, v_j) = #{x in S : O(x, v_i, x, v_j) == Yes}``
+
+When ``d(q, v_j) > d(q, v_i) + 2 * alpha`` every anchor sits closer to
+``v_i`` than to ``v_j`` (triangle inequality), so each of the ``|S|``
+independent queries is correct with probability ``1 - p`` and the count
+concentrates above the decision threshold ``0.3 * |S|`` (Lemma 3.9).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.metric.space import MetricSpace
+from repro.oracles.base import BaseComparisonOracle, BaseQuadrupletOracle
+from repro.rng import SeedLike, ensure_rng
+
+#: Decision threshold from Algorithm 5: answer Yes when FCount >= 0.3 |S|.
+DEFAULT_THRESHOLD_FRACTION = 0.3
+
+
+def fcount(
+    oracle: BaseQuadrupletOracle,
+    v_i: int,
+    v_j: int,
+    anchors: Sequence[int],
+) -> int:
+    """Number of anchors ``x`` for which the oracle says ``d(x, v_i) <= d(x, v_j)``."""
+    anchors = [int(x) for x in anchors]
+    if not anchors:
+        raise EmptyInputError("fcount needs a non-empty anchor set")
+    count = 0
+    for x in anchors:
+        if oracle.compare(x, int(v_i), x, int(v_j)):
+            count += 1
+    return count
+
+
+def pairwise_comp(
+    oracle: BaseQuadrupletOracle,
+    v_i: int,
+    v_j: int,
+    anchors: Sequence[int],
+    threshold_fraction: float = DEFAULT_THRESHOLD_FRACTION,
+) -> bool:
+    """Robust answer to "is v_i closer to the query than v_j?" (Algorithm 5).
+
+    Returns Yes (True) when ``FCount(v_i, v_j) >= threshold_fraction * |S|``.
+
+    Parameters
+    ----------
+    oracle:
+        The noisy quadruplet oracle.
+    v_i, v_j:
+        The two candidate records being compared.
+    anchors:
+        The anchor set ``S`` of records close to the query.
+    threshold_fraction:
+        Decision threshold as a fraction of ``|S|`` (0.3 in the paper).
+    """
+    if not 0.0 < threshold_fraction < 1.0:
+        raise InvalidParameterError(
+            f"threshold_fraction must be in (0, 1), got {threshold_fraction}"
+        )
+    count = fcount(oracle, v_i, v_j, anchors)
+    return count >= threshold_fraction * len(list(anchors))
+
+
+class PairwiseCompOracle(BaseComparisonOracle):
+    """Comparison-oracle view of robust pairwise comparisons for a fixed query.
+
+    Records are ordered by their (hidden) distance from the query:
+    ``compare(i, j)`` answers Yes when ``d(q, i) <= d(q, j)`` is believed to
+    hold, i.e. when PairwiseComp judges *i* to be closer.  Running a
+    maximum-finding algorithm over this view therefore returns the farthest
+    neighbour.  Each comparison spends ``|S|`` quadruplet queries.
+
+    Set ``minimize=True`` to reverse the ordering so that maximum-finding
+    algorithms return the nearest neighbour instead.
+    """
+
+    def __init__(
+        self,
+        quadruplet_oracle: BaseQuadrupletOracle,
+        anchors: Sequence[int],
+        threshold_fraction: float = DEFAULT_THRESHOLD_FRACTION,
+        minimize: bool = False,
+    ):
+        anchors = [int(x) for x in anchors]
+        if not anchors:
+            raise EmptyInputError("PairwiseCompOracle needs a non-empty anchor set")
+        self.quadruplet_oracle = quadruplet_oracle
+        self.anchors = anchors
+        self.threshold_fraction = threshold_fraction
+        self.minimize = bool(minimize)
+        self.counter = quadruplet_oracle.counter
+
+    def compare(self, i: int, j: int) -> bool:
+        """Yes when value(i) <= value(j) under the induced ordering."""
+        if int(i) == int(j):
+            return True
+        # closer(i, j): robust belief that i is closer to the query than j.
+        closer = pairwise_comp(
+            self.quadruplet_oracle,
+            i,
+            j,
+            self.anchors,
+            threshold_fraction=self.threshold_fraction,
+        )
+        if self.minimize:
+            # Reversed ordering: the *nearest* record gets the largest value.
+            return not closer
+        # Natural ordering by distance from the query: Yes iff i is closer.
+        return closer
+
+
+def select_anchor_set(
+    space: MetricSpace,
+    query: int,
+    size: int,
+    candidates: Optional[Sequence[int]] = None,
+) -> list[int]:
+    """Ground-truth helper returning the *size* records closest to *query*.
+
+    The paper assumes such a set ``S`` (with ``max_{x in S} d(q, x) <= alpha``)
+    is available, e.g. from the clustering cores of Section 4.2.  Experiments
+    that need a standalone anchor set use this helper, which reads the hidden
+    metric; the k-center pipeline builds its anchors (cores) from oracle
+    answers only.
+    """
+    if size < 1:
+        raise InvalidParameterError(f"anchor set size must be >= 1, got {size}")
+    query = int(query)
+    if candidates is None:
+        candidates = [i for i in range(len(space)) if i != query]
+    else:
+        candidates = [int(i) for i in candidates if int(i) != query]
+    if not candidates:
+        raise EmptyInputError("no candidates available for the anchor set")
+    dists = space.distances_from(query, candidates)
+    order = np.argsort(dists, kind="stable")
+    chosen = [candidates[int(pos)] for pos in order[:size]]
+    return chosen
+
+
+def noisy_anchor_set(
+    oracle: BaseQuadrupletOracle,
+    query: int,
+    candidates: Sequence[int],
+    size: int,
+    seed: SeedLike = None,
+) -> list[int]:
+    """Oracle-only anchor selection: the *size* candidates with the highest closeness Count.
+
+    This mirrors Identify-Core (Algorithm 9): each candidate ``u`` scores the
+    number of other candidates ``x`` for which the oracle believes
+    ``d(q, u) <= d(q, x)``, and the top scorers are returned.
+    """
+    candidates = [int(c) for c in candidates if int(c) != int(query)]
+    if not candidates:
+        raise EmptyInputError("noisy_anchor_set needs at least one candidate")
+    if size < 1:
+        raise InvalidParameterError(f"anchor set size must be >= 1, got {size}")
+    rng = ensure_rng(seed)
+    query = int(query)
+    scores = {}
+    for u in candidates:
+        score = 0
+        for x in candidates:
+            if x == u:
+                continue
+            if oracle.compare(query, u, query, x):
+                score += 1
+        scores[u] = score
+    order = sorted(candidates, key=lambda u: (-scores[u], rng.random()))
+    return order[: min(size, len(order))]

@@ -1,0 +1,48 @@
+"""Comparison and quadruplet oracles, noise models and query accounting.
+
+The oracle layer is the interface every algorithm in the library talks to.
+It hides the ground-truth metric behind two query types:
+
+* a **comparison oracle** over scalar values — ``O(v_i, v_j)`` answers Yes
+  when ``v_i <= v_j`` (Definition 2.1 of the paper), and
+* a **quadruplet oracle** over record pairs — ``O(a, b, c, d)`` answers Yes
+  when ``d(a, b) <= d(c, d)`` (Definition 2.3).
+
+Noise is injected by a pluggable :class:`~repro.oracles.noise.NoiseModel`:
+exact answers, adversarial noise within a ``(1 + mu)`` band, or persistent
+probabilistic noise with error rate ``p``.
+"""
+
+from repro.oracles.base import (
+    BaseComparisonOracle,
+    BaseQuadrupletOracle,
+    MinimizingComparisonOracle,
+    distance_comparison_view,
+)
+from repro.oracles.comparison import ValueComparisonOracle
+from repro.oracles.counting import QueryCounter
+from repro.oracles.crowd import BucketAccuracyProfile, CrowdQuadrupletOracle
+from repro.oracles.noise import (
+    AdversarialNoise,
+    ExactNoise,
+    NoiseModel,
+    ProbabilisticNoise,
+)
+from repro.oracles.quadruplet import DistanceQuadrupletOracle, SameClusterOracle
+
+__all__ = [
+    "QueryCounter",
+    "NoiseModel",
+    "ExactNoise",
+    "AdversarialNoise",
+    "ProbabilisticNoise",
+    "BaseComparisonOracle",
+    "BaseQuadrupletOracle",
+    "MinimizingComparisonOracle",
+    "distance_comparison_view",
+    "ValueComparisonOracle",
+    "DistanceQuadrupletOracle",
+    "SameClusterOracle",
+    "BucketAccuracyProfile",
+    "CrowdQuadrupletOracle",
+]

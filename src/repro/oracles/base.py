@@ -1,0 +1,163 @@
+"""Oracle interfaces and adapters shared by all algorithms.
+
+Two query interfaces exist, matching Definitions 2.1 and 2.3 of the paper:
+
+* ``ComparisonOracle.compare(i, j)`` — Yes (``True``) when the value carried
+  by record *i* is at most the value carried by record *j*.
+* ``QuadrupletOracle.compare(a, b, c, d)`` — Yes when ``d(a, b) <= d(c, d)``.
+
+The maximisation algorithms of Section 3 are written against the comparison
+interface.  The adapters in this module let the same code answer farthest /
+nearest-neighbour and k-center questions by viewing "the distance from a
+query point" (or "the distance from a point to its assigned center") as the
+value being compared, each such comparison being served by one quadruplet
+query underneath.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.oracles.counting import QueryCounter
+
+
+class BaseComparisonOracle:
+    """Interface of a Yes/No comparison oracle over record indices."""
+
+    #: Shared query counter; concrete oracles must set this in ``__init__``.
+    counter: QueryCounter
+
+    def compare(self, i: int, j: int) -> bool:
+        """Return Yes (True) when value(i) <= value(j), possibly with noise."""
+        raise NotImplementedError
+
+    def is_smaller(self, i: int, j: int) -> bool:
+        """Alias of :meth:`compare` with a more readable name at call sites."""
+        return self.compare(i, j)
+
+
+class BaseQuadrupletOracle:
+    """Interface of a Yes/No quadruplet oracle over pairs of record indices."""
+
+    counter: QueryCounter
+
+    def compare(self, a: int, b: int, c: int, d: int) -> bool:
+        """Return Yes (True) when d(a, b) <= d(c, d), possibly with noise."""
+        raise NotImplementedError
+
+
+class MinimizingComparisonOracle(BaseComparisonOracle):
+    """View of an oracle with the comparison direction reversed.
+
+    The paper's minimum-finding algorithms are the maximum-finding algorithms
+    with the roles of Yes and No swapped (Section 3.2).  Wrapping an oracle in
+    this adapter lets every maximisation routine be reused verbatim for
+    minimisation: ``compare(i, j)`` on the wrapper answers Yes when the
+    underlying oracle says value(i) >= value(j).
+    """
+
+    def __init__(self, inner: BaseComparisonOracle):
+        self.inner = inner
+        self.counter = inner.counter
+
+    def compare(self, i: int, j: int) -> bool:
+        return not self.inner.compare(i, j)
+
+
+class FunctionComparisonOracle(BaseComparisonOracle):
+    """A comparison oracle backed by an arbitrary ``(i, j) -> bool`` callable.
+
+    Used by algorithms that need to run Count-Max over *derived* comparisons
+    (for example the robust :func:`repro.neighbors.pairwise.pairwise_comp`
+    subroutine, which aggregates many quadruplet queries into one Yes/No
+    answer).  Queries are charged to the supplied counter only when
+    ``charge`` is true — normally the underlying quadruplet queries have
+    already been counted.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[int, int], bool],
+        counter: Optional[QueryCounter] = None,
+        charge: bool = False,
+        tag: Optional[str] = None,
+    ):
+        self._fn = fn
+        self.counter = counter if counter is not None else QueryCounter()
+        self._charge = charge
+        self._tag = tag
+
+    def compare(self, i: int, j: int) -> bool:
+        if self._charge:
+            self.counter.record(tag=self._tag)
+        return bool(self._fn(i, j))
+
+
+class DistanceFromQueryOracle(BaseComparisonOracle):
+    """Comparison view "which of i, j is farther from a fixed query point q?".
+
+    ``compare(i, j)`` answers Yes when ``d(q, i) <= d(q, j)`` and is served by
+    a single quadruplet query ``O(q, i, q, j)``.  Running a maximum-finding
+    algorithm over this view returns the (approximately) farthest neighbour
+    of ``q``; wrapping it in :class:`MinimizingComparisonOracle` returns the
+    nearest neighbour.
+    """
+
+    def __init__(self, quadruplet_oracle: BaseQuadrupletOracle, query: int):
+        self.quadruplet_oracle = quadruplet_oracle
+        self.query = int(query)
+        self.counter = quadruplet_oracle.counter
+
+    def compare(self, i: int, j: int) -> bool:
+        q = self.query
+        return self.quadruplet_oracle.compare(q, i, q, j)
+
+
+class AssignmentDistanceOracle(BaseComparisonOracle):
+    """Comparison view "which point is farther from its own assigned center?".
+
+    Used by the k-center Approx-Farthest step: record *i* carries the value
+    ``d(i, center(i))`` where ``center`` is the current assignment, and one
+    comparison is served by a single quadruplet query
+    ``O(i, center(i), j, center(j))``.
+    """
+
+    def __init__(
+        self,
+        quadruplet_oracle: BaseQuadrupletOracle,
+        assignment: Sequence[int] | dict,
+    ):
+        self.quadruplet_oracle = quadruplet_oracle
+        self.assignment = assignment
+        self.counter = quadruplet_oracle.counter
+
+    def _center_of(self, i: int) -> int:
+        if isinstance(self.assignment, dict):
+            return int(self.assignment[i])
+        return int(self.assignment[i])
+
+    def compare(self, i: int, j: int) -> bool:
+        si = self._center_of(i)
+        sj = self._center_of(j)
+        return self.quadruplet_oracle.compare(i, si, j, sj)
+
+
+def distance_comparison_view(
+    quadruplet_oracle: BaseQuadrupletOracle, query: int, minimize: bool = False
+) -> BaseComparisonOracle:
+    """Build a comparison oracle over "distance from *query*".
+
+    Parameters
+    ----------
+    quadruplet_oracle:
+        The underlying (noisy) quadruplet oracle.
+    query:
+        The fixed query record.
+    minimize:
+        When true the view is reversed so maximum-finding algorithms return
+        the nearest neighbour instead of the farthest.
+    """
+    view: BaseComparisonOracle = DistanceFromQueryOracle(quadruplet_oracle, query)
+    if minimize:
+        view = MinimizingComparisonOracle(view)
+    return view

@@ -1,0 +1,93 @@
+"""Concrete comparison oracle over scalar values (Definition 2.1)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.metric.space import ValueSpace
+from repro.oracles.base import BaseComparisonOracle
+from repro.oracles.counting import QueryCounter
+from repro.oracles.noise import ExactNoise, NoiseModel
+
+
+class ValueComparisonOracle(BaseComparisonOracle):
+    """Answers "is value(i) <= value(j)?" with a pluggable noise model.
+
+    Parameters
+    ----------
+    values:
+        The hidden ground-truth values, as a 1-D sequence or a
+        :class:`~repro.metric.space.ValueSpace`.
+    noise:
+        The noise model; defaults to a perfect oracle.
+    counter:
+        Optional shared query counter (a fresh one is created otherwise).
+    tag:
+        Optional tag recorded with every query for per-phase accounting.
+    cache_answers:
+        When true (the default) repeated queries are served from a memo and
+        recorded as cached (persistent-crowd behaviour).
+    """
+
+    def __init__(
+        self,
+        values: Sequence[float] | ValueSpace,
+        noise: Optional[NoiseModel] = None,
+        counter: Optional[QueryCounter] = None,
+        tag: Optional[str] = None,
+        cache_answers: bool = True,
+    ):
+        if isinstance(values, ValueSpace):
+            self.space = values
+        else:
+            self.space = ValueSpace(np.asarray(values, dtype=float))
+        if len(self.space) == 0:
+            raise EmptyInputError("oracle needs at least one value")
+        self.noise = noise if noise is not None else ExactNoise()
+        self.counter = counter if counter is not None else QueryCounter()
+        self.tag = tag
+        self.cache_answers = bool(cache_answers)
+        self._answer_cache: dict = {}
+
+    def __len__(self) -> int:
+        return len(self.space)
+
+    def _check(self, i: int) -> int:
+        i = int(i)
+        if not 0 <= i < len(self.space):
+            raise InvalidParameterError(
+                f"record index {i} out of range for oracle over {len(self.space)} values"
+            )
+        return i
+
+    def compare(self, i: int, j: int) -> bool:
+        """Return Yes (True) when value(i) <= value(j), subject to noise.
+
+        Comparing a record with itself is answered Yes without charging a
+        query, mirroring the convention that ``Count`` sums over ``S \\ {v}``.
+        """
+        i = self._check(i)
+        j = self._check(j)
+        if i == j:
+            return True
+        # Canonical key: orient the query so (i, j) and the reversed (j, i)
+        # receive consistent persisted answers.
+        flipped = i > j
+        lo, hi = (j, i) if flipped else (i, j)
+        key = ("cmp", lo, hi)
+        if self.cache_answers and key in self._answer_cache:
+            self.counter.record(cached=True, tag=self.tag)
+            answer = self._answer_cache[key]
+        else:
+            answer = self.noise.answer(self.space.value(lo), self.space.value(hi), key)
+            if self.cache_answers:
+                self._answer_cache[key] = answer
+            self.counter.record(tag=self.tag)
+        return (not answer) if flipped else answer
+
+    def true_compare(self, i: int, j: int) -> bool:
+        """Noise-free ground-truth comparison (used only by tests and evaluation)."""
+        return self.space.value(self._check(i)) <= self.space.value(self._check(j))

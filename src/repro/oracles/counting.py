@@ -1,0 +1,89 @@
+"""Query accounting for oracles.
+
+Query complexity is one of the two axes every experiment in the paper reports
+(the other being solution quality), so all oracles in the library share a
+:class:`QueryCounter` that records how many queries were issued, how many hit
+the persistence cache, and optionally enforces a hard budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.exceptions import InvalidParameterError, QueryBudgetExceededError
+
+
+@dataclass
+class QueryCounter:
+    """Counts oracle queries and optionally enforces a budget.
+
+    Attributes
+    ----------
+    budget:
+        Maximum number of *charged* queries allowed; ``None`` means unlimited.
+    charge_cached:
+        Whether answers served from a persistence cache count against the
+        budget.  The paper's persistent noise model answers repeated queries
+        identically "for free" from the crowd's point of view, so the default
+        is ``False``.
+    """
+
+    budget: Optional[int] = None
+    charge_cached: bool = False
+    total_queries: int = 0
+    charged_queries: int = 0
+    cached_queries: int = 0
+    by_tag: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.budget is not None and self.budget < 0:
+            raise InvalidParameterError(f"budget must be non-negative, got {self.budget}")
+
+    def record(self, cached: bool = False, tag: Optional[str] = None) -> None:
+        """Record one oracle query.
+
+        Parameters
+        ----------
+        cached:
+            True when the answer was served from a persistence cache.
+        tag:
+            Optional label (e.g. ``"assign"``, ``"farthest"``) for per-phase
+            breakdowns in the experiment reports.
+        """
+        self.total_queries += 1
+        if cached:
+            self.cached_queries += 1
+        if not cached or self.charge_cached:
+            self.charged_queries += 1
+        if tag is not None:
+            self.by_tag[tag] = self.by_tag.get(tag, 0) + 1
+        if self.budget is not None and self.charged_queries > self.budget:
+            raise QueryBudgetExceededError(
+                f"query budget of {self.budget} exceeded "
+                f"({self.charged_queries} charged queries)",
+                counter=self,
+            )
+
+    def reset(self) -> None:
+        """Zero all counters (the budget is kept)."""
+        self.total_queries = 0
+        self.charged_queries = 0
+        self.cached_queries = 0
+        self.by_tag = {}
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return a plain-dict snapshot suitable for experiment result rows."""
+        return {
+            "total_queries": self.total_queries,
+            "charged_queries": self.charged_queries,
+            "cached_queries": self.cached_queries,
+            **{f"tag:{k}": v for k, v in sorted(self.by_tag.items())},
+        }
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Remaining budget, or ``None`` when unlimited."""
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self.charged_queries)

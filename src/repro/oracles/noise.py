@@ -1,0 +1,198 @@
+"""Noise models applied to comparison answers.
+
+A noise model decides, for one comparison of two non-negative ground-truth
+quantities ``left`` and ``right``, whether the oracle answers Yes
+(``left <= right``) or No.  The three models mirror Section 2.2 of the paper:
+
+* :class:`ExactNoise` — always correct (``mu = 0`` / ``p = 0``).
+* :class:`AdversarialNoise` — correct whenever the two quantities differ by
+  more than a ``(1 + mu)`` multiplicative factor; inside that band the answer
+  is produced by a configurable adversary (worst-case "always lie" by
+  default).
+* :class:`ProbabilisticNoise` — each *distinct* query is flipped with
+  probability ``p`` and the (possibly wrong) answer persists: repeating the
+  query returns the same answer.
+
+Persistence is keyed on a canonical form of the query supplied by the caller,
+so asking ``O(a, b, c, d)`` and the symmetric ``O(c, d, a, b)`` give
+consistent answers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.rng import SeedLike, ensure_rng
+
+
+class NoiseModel:
+    """Base class for noise models.
+
+    Subclasses implement :meth:`answer`, which receives the two ground-truth
+    quantities being compared and a hashable *key* identifying the query (for
+    persistence), and returns the oracle's Yes/No answer as a bool
+    (``True`` = Yes = "left <= right").
+    """
+
+    def answer(self, left: float, right: float, key: Hashable) -> bool:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget any persisted answers (a fresh crowd, so to speak)."""
+
+    # -- shared helpers -------------------------------------------------------
+
+    @staticmethod
+    def _true_answer(left: float, right: float) -> bool:
+        return left <= right
+
+
+class ExactNoise(NoiseModel):
+    """A perfect oracle: every answer is correct."""
+
+    def answer(self, left: float, right: float, key: Hashable) -> bool:
+        return self._true_answer(left, right)
+
+    def __repr__(self) -> str:
+        return "ExactNoise()"
+
+
+class AdversarialNoise(NoiseModel):
+    """Adversarial noise within a multiplicative ``(1 + mu)`` confusion band.
+
+    When ``max(left, right) / min(left, right) <= 1 + mu`` the answer may be
+    adversarially wrong; otherwise it is correct.  The adversary strategy is
+    configurable:
+
+    * ``"lie"`` (default) — always return the wrong answer inside the band,
+      the worst case the paper's guarantees are proved against.
+    * ``"random"`` — flip a fair coin inside the band (persisted per query).
+    * a callable ``(left, right, key) -> bool`` — custom adversary; its return
+      value is used verbatim as the oracle answer inside the band.
+
+    Zero distances are treated as confusable with every other value that is
+    also within an additive ``zero_band`` of zero (two identical points are
+    always confusable with each other).
+    """
+
+    def __init__(
+        self,
+        mu: float,
+        adversary: str | Callable[[float, float, Hashable], bool] = "lie",
+        seed: SeedLike = None,
+        zero_band: float = 0.0,
+    ):
+        if mu < 0:
+            raise InvalidParameterError(f"mu must be non-negative, got {mu}")
+        self.mu = float(mu)
+        self.zero_band = float(zero_band)
+        self._rng = ensure_rng(seed)
+        self._persisted: Dict[Hashable, bool] = {}
+        if isinstance(adversary, str):
+            if adversary not in ("lie", "random"):
+                raise InvalidParameterError(
+                    f"adversary must be 'lie', 'random' or a callable, got {adversary!r}"
+                )
+        elif not callable(adversary):
+            raise InvalidParameterError("adversary must be a string or a callable")
+        self.adversary = adversary
+
+    def in_confusion_band(self, left: float, right: float) -> bool:
+        """True when the adversary is allowed to answer this query arbitrarily."""
+        lo, hi = (left, right) if left <= right else (right, left)
+        if lo < 0 or hi < 0:
+            raise InvalidParameterError("compared quantities must be non-negative")
+        if lo == 0.0:
+            return hi <= self.zero_band or hi == 0.0
+        return hi / lo <= 1.0 + self.mu
+
+    def answer(self, left: float, right: float, key: Hashable) -> bool:
+        if not self.in_confusion_band(left, right):
+            return self._true_answer(left, right)
+        if callable(self.adversary):
+            return bool(self.adversary(left, right, key))
+        if self.adversary == "lie":
+            return not self._true_answer(left, right)
+        # "random": persist the coin flip so repeated queries are consistent.
+        if key not in self._persisted:
+            self._persisted[key] = bool(self._rng.random() < 0.5)
+        return self._persisted[key]
+
+    def reset(self) -> None:
+        self._persisted.clear()
+
+    def __repr__(self) -> str:
+        name = self.adversary if isinstance(self.adversary, str) else "custom"
+        return f"AdversarialNoise(mu={self.mu}, adversary={name!r})"
+
+
+class ProbabilisticNoise(NoiseModel):
+    """Persistent probabilistic noise: each distinct query is wrong with probability *p*.
+
+    The answer to a query is drawn once, the first time the query is seen,
+    and persisted for the lifetime of the model (or until :meth:`reset`),
+    matching the persistent-error model of the paper where repetition cannot
+    boost the success probability.
+
+    Parameters
+    ----------
+    p:
+        Error probability, must satisfy ``0 <= p < 0.5``.
+    seed:
+        Seed for the flip decisions.
+    persistent:
+        When false, every call re-flips independently.  This departs from the
+        paper's model and exists only so experiments can contrast persistent
+        and independent errors.
+    """
+
+    def __init__(self, p: float, seed: SeedLike = None, persistent: bool = True):
+        if not 0.0 <= p < 0.5:
+            raise InvalidParameterError(f"p must be in [0, 0.5), got {p}")
+        self.p = float(p)
+        self.persistent = bool(persistent)
+        self._rng = ensure_rng(seed)
+        self._persisted: Dict[Hashable, bool] = {}
+
+    def answer(self, left: float, right: float, key: Hashable) -> bool:
+        truth = self._true_answer(left, right)
+        if not self.persistent:
+            flip = bool(self._rng.random() < self.p)
+            return truth ^ flip
+        if key not in self._persisted:
+            flip = bool(self._rng.random() < self.p)
+            self._persisted[key] = truth ^ flip
+        return self._persisted[key]
+
+    def reset(self) -> None:
+        self._persisted.clear()
+
+    @property
+    def n_persisted(self) -> int:
+        """Number of distinct queries whose answers have been persisted."""
+        return len(self._persisted)
+
+    def __repr__(self) -> str:
+        return f"ProbabilisticNoise(p={self.p}, persistent={self.persistent})"
+
+
+def make_noise_model(
+    kind: str,
+    mu: float = 0.0,
+    p: float = 0.0,
+    seed: SeedLike = None,
+    **kwargs,
+) -> NoiseModel:
+    """Factory used by experiment configs: ``kind`` is ``"exact"``, ``"adversarial"`` or ``"probabilistic"``."""
+    if kind == "exact":
+        return ExactNoise()
+    if kind == "adversarial":
+        return AdversarialNoise(mu=mu, seed=seed, **kwargs)
+    if kind == "probabilistic":
+        return ProbabilisticNoise(p=p, seed=seed, **kwargs)
+    raise InvalidParameterError(
+        f"unknown noise kind {kind!r}; expected 'exact', 'adversarial' or 'probabilistic'"
+    )

@@ -1,0 +1,174 @@
+"""Concrete quadruplet oracle over a metric space (Definition 2.3).
+
+Also provides the pairwise *same-cluster* oracle used by the ``Oq`` baseline
+in the paper's evaluation (optimal-cluster queries answered by the crowd).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.metric.space import MetricSpace
+from repro.oracles.base import BaseQuadrupletOracle
+from repro.oracles.counting import QueryCounter
+from repro.oracles.noise import ExactNoise, NoiseModel, ProbabilisticNoise
+from repro.rng import SeedLike, ensure_rng
+
+
+class DistanceQuadrupletOracle(BaseQuadrupletOracle):
+    """Answers "is d(a, b) <= d(c, d)?" over a hidden metric space with noise.
+
+    Parameters
+    ----------
+    space:
+        The hidden ground-truth metric space.
+    noise:
+        Noise model applied to every comparison of the two distances.
+    counter:
+        Optional shared query counter.
+    tag:
+        Optional accounting tag recorded with every query.
+    cache_answers:
+        When true (the default) the oracle memoises answers per canonical
+        query, modelling a persistent crowd: repeating a question costs no
+        new crowd work, so repeats are recorded as cached and not charged.
+    """
+
+    def __init__(
+        self,
+        space: MetricSpace,
+        noise: Optional[NoiseModel] = None,
+        counter: Optional[QueryCounter] = None,
+        tag: Optional[str] = None,
+        cache_answers: bool = True,
+    ):
+        self.space = space
+        self.noise = noise if noise is not None else ExactNoise()
+        self.counter = counter if counter is not None else QueryCounter()
+        self.tag = tag
+        self.cache_answers = bool(cache_answers)
+        self._answer_cache: dict = {}
+
+    def __len__(self) -> int:
+        return len(self.space)
+
+    def _check(self, i: int) -> int:
+        i = int(i)
+        if not 0 <= i < len(self.space):
+            raise InvalidParameterError(
+                f"record index {i} out of range for space with {len(self.space)} points"
+            )
+        return i
+
+    @staticmethod
+    def _pair_key(a: int, b: int) -> tuple:
+        return (a, b) if a <= b else (b, a)
+
+    def compare(self, a: int, b: int, c: int, d: int) -> bool:
+        """Return Yes (True) when d(a, b) <= d(c, d), subject to noise.
+
+        Comparing a pair against itself is answered Yes without charging a
+        query.  Persistence keys are canonicalised so that the same two pairs
+        presented in either order or orientation receive consistent answers.
+        """
+        a, b, c, d = (self._check(a), self._check(b), self._check(c), self._check(d))
+        left_pair = self._pair_key(a, b)
+        right_pair = self._pair_key(c, d)
+        if left_pair == right_pair:
+            return True
+        flipped = left_pair > right_pair
+        if flipped:
+            left_pair, right_pair = right_pair, left_pair
+        key = ("quad", left_pair, right_pair)
+        if self.cache_answers and key in self._answer_cache:
+            self.counter.record(cached=True, tag=self.tag)
+            answer = self._answer_cache[key]
+        else:
+            d_left = self.space.distance(*left_pair)
+            d_right = self.space.distance(*right_pair)
+            answer = self.noise.answer(d_left, d_right, key)
+            if self.cache_answers:
+                self._answer_cache[key] = answer
+            self.counter.record(tag=self.tag)
+        return (not answer) if flipped else answer
+
+    def true_compare(self, a: int, b: int, c: int, d: int) -> bool:
+        """Noise-free ground-truth comparison (tests and evaluation only)."""
+        return self.space.distance(a, b) <= self.space.distance(c, d)
+
+
+class SameClusterOracle:
+    """Pairwise optimal-cluster query oracle for the ``Oq`` baseline.
+
+    Answers "do records *i* and *j* belong to the same optimal cluster?".
+    Following the user-study observations in Section 6.2.2, answers for pairs
+    in *different* clusters are reliable (high precision) while answers for
+    pairs in the *same* cluster miss with a higher rate (low recall), because
+    a worker without a holistic view tends to say No for same-cluster pairs
+    that merely look different.
+
+    Parameters
+    ----------
+    labels:
+        Ground-truth cluster label per record.
+    false_negative_rate:
+        Probability that a same-cluster pair is (wrongly) answered No.
+    false_positive_rate:
+        Probability that a different-cluster pair is (wrongly) answered Yes.
+    seed:
+        Seed for the persistent flip decisions.
+    counter:
+        Optional shared query counter.
+    """
+
+    def __init__(
+        self,
+        labels: Sequence[int],
+        false_negative_rate: float = 0.5,
+        false_positive_rate: float = 0.05,
+        seed: SeedLike = None,
+        counter: Optional[QueryCounter] = None,
+    ):
+        self.labels = np.asarray(labels, dtype=int)
+        for name, rate in (
+            ("false_negative_rate", false_negative_rate),
+            ("false_positive_rate", false_positive_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise InvalidParameterError(f"{name} must be in [0, 1], got {rate}")
+        self.false_negative_rate = float(false_negative_rate)
+        self.false_positive_rate = float(false_positive_rate)
+        self._rng = ensure_rng(seed)
+        self._persisted: dict = {}
+        self.counter = counter if counter is not None else QueryCounter()
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def same_cluster(self, i: int, j: int) -> bool:
+        """Noisy persistent answer to "are i and j in the same optimal cluster?"."""
+        i, j = int(i), int(j)
+        if i == j:
+            return True
+        key = (i, j) if i < j else (j, i)
+        if key not in self._persisted:
+            truth = bool(self.labels[i] == self.labels[j])
+            if truth:
+                answer = not (self._rng.random() < self.false_negative_rate)
+            else:
+                answer = self._rng.random() < self.false_positive_rate
+            self._persisted[key] = answer
+        self.counter.record()
+        return self._persisted[key]
+
+
+def make_probabilistic_quadruplet_oracle(
+    space: MetricSpace, p: float, seed: SeedLike = None, counter: Optional[QueryCounter] = None
+) -> DistanceQuadrupletOracle:
+    """Convenience constructor for the common probabilistic-noise configuration."""
+    return DistanceQuadrupletOracle(
+        space, noise=ProbabilisticNoise(p=p, seed=seed), counter=counter
+    )

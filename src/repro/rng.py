@@ -1,0 +1,92 @@
+"""Reproducible random-number-generator helpers.
+
+All randomised algorithms in the library accept either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy).  This
+module centralises the conversion so every public function behaves the same
+way, and provides a helper to derive independent child generators for
+sub-procedures (e.g. each repetition of a tournament partition).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for fresh OS entropy, an ``int`` for a deterministic stream,
+        an existing ``Generator`` (returned unchanged) or a ``SeedSequence``.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, n: int = 1) -> list[np.random.Generator]:
+    """Derive *n* statistically independent child generators from *rng*.
+
+    Children are seeded from integers drawn from *rng* so the parent stream
+    advances deterministically and repeated calls give different children.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def permutation(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Return a random permutation of ``range(n)`` as an integer array."""
+    return rng.permutation(n)
+
+
+def sample_with_replacement(
+    rng: np.random.Generator, population: int, size: int
+) -> np.ndarray:
+    """Sample *size* indices uniformly with replacement from ``range(population)``."""
+    if population <= 0:
+        raise ValueError("population must be positive")
+    return rng.integers(0, population, size=size)
+
+
+def sample_without_replacement(
+    rng: np.random.Generator, population: int, size: int
+) -> np.ndarray:
+    """Sample *size* distinct indices uniformly from ``range(population)``."""
+    if size > population:
+        raise ValueError(
+            f"cannot sample {size} items without replacement from {population}"
+        )
+    return rng.choice(population, size=size, replace=False)
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a single integer seed suitable for seeding a child component."""
+    return int(rng.integers(0, 2**63 - 1, dtype=np.int64))
+
+
+_DEFAULT_SEED: Optional[int] = None
+
+
+def set_default_seed(seed: Optional[int]) -> None:
+    """Set a process-wide default seed used when callers pass ``seed=None``.
+
+    Intended for test harnesses and benchmark reproducibility; library code
+    never calls this itself.
+    """
+    global _DEFAULT_SEED
+    _DEFAULT_SEED = seed
+
+
+def default_rng() -> np.random.Generator:
+    """Return a generator seeded with the process-wide default seed, if any."""
+    return ensure_rng(_DEFAULT_SEED)

@@ -1,0 +1,194 @@
+"""Tests for the synthetic dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    load_dataset,
+    make_blobs_space,
+    make_cities,
+    make_skewed_values,
+    make_taxonomy_space,
+    make_uniform_space,
+    make_values_with_confusion_set,
+)
+from repro.exceptions import DatasetError, InvalidParameterError
+from repro.metric.validation import is_metric
+
+
+class TestBlobs:
+    def test_shape_and_labels(self):
+        space = make_blobs_space(50, 5, dimension=3, seed=0)
+        assert len(space) == 50
+        assert space.dimension == 3
+        assert space.labels is not None
+        assert set(space.labels.tolist()) == set(range(5))
+
+    def test_every_cluster_nonempty(self):
+        space = make_blobs_space(20, 7, seed=1)
+        assert len(set(space.labels.tolist())) == 7
+
+    def test_weights_control_sizes(self):
+        space = make_blobs_space(400, 2, weights=[9, 1], cluster_std=0.1, seed=0)
+        sizes = np.bincount(space.labels)
+        assert sizes[0] > sizes[1]
+
+    def test_reproducible(self):
+        a = make_blobs_space(30, 3, seed=5)
+        b = make_blobs_space(30, 3, seed=5)
+        assert np.allclose(a.points, b.points)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            make_blobs_space(0, 1)
+        with pytest.raises(InvalidParameterError):
+            make_blobs_space(5, 10)
+        with pytest.raises(InvalidParameterError):
+            make_blobs_space(10, 2, cluster_std=-1)
+        with pytest.raises(InvalidParameterError):
+            make_blobs_space(10, 2, weights=[1.0])
+
+
+class TestUniformAndValues:
+    def test_uniform_bounds(self):
+        space = make_uniform_space(40, dimension=2, low=-1, high=1, seed=0)
+        assert np.all(space.points >= -1) and np.all(space.points <= 1)
+
+    def test_uniform_validation(self):
+        with pytest.raises(InvalidParameterError):
+            make_uniform_space(0)
+        with pytest.raises(InvalidParameterError):
+            make_uniform_space(10, low=1, high=0)
+
+    def test_skewed_values_positive_with_heavy_tail(self):
+        values = make_skewed_values(500, seed=0)
+        arr = values.values
+        assert np.all(arr > 0)
+        assert arr.max() > 5 * np.median(arr)
+
+    def test_skewed_values_validation(self):
+        with pytest.raises(InvalidParameterError):
+            make_skewed_values(0)
+        with pytest.raises(InvalidParameterError):
+            make_skewed_values(10, scale=-1)
+
+    def test_confusion_set_fraction_respected(self):
+        mu = 0.5
+        values = make_values_with_confusion_set(200, confusion_fraction=0.3, mu=mu, seed=0)
+        arr = values.values
+        v_max = arr.max()
+        in_band = np.sum(arr >= v_max / (1 + mu)) - 1  # exclude the max itself
+        assert abs(in_band - 0.3 * 199) < 12
+
+    def test_confusion_set_validation(self):
+        with pytest.raises(InvalidParameterError):
+            make_values_with_confusion_set(1, 0.5, 0.5)
+        with pytest.raises(InvalidParameterError):
+            make_values_with_confusion_set(10, 1.5, 0.5)
+        with pytest.raises(InvalidParameterError):
+            make_values_with_confusion_set(10, 0.5, -1)
+
+
+class TestCities:
+    def test_size_and_labels(self):
+        space = make_cities(200, seed=0)
+        assert len(space) == 200
+        assert space.labels is not None
+
+    def test_outliers_create_skewed_distances(self):
+        space = make_cities(300, outlier_fraction=0.02, seed=1)
+        dists = space.distances_from(0)
+        # The farthest distance (to an outlier region) dwarfs the median
+        # continental distance: that is the skew the Samp baseline trips over.
+        assert dists.max() > 2.5 * np.median(dists[dists > 0])
+
+    def test_euclidean_variant(self):
+        space = make_cities(50, use_haversine=False, seed=0)
+        assert is_metric(space, max_points=20, seed=0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            make_cities(0)
+        with pytest.raises(InvalidParameterError):
+            make_cities(10, n_metros=0)
+        with pytest.raises(InvalidParameterError):
+            make_cities(10, outlier_fraction=1.5)
+
+
+class TestTaxonomy:
+    def test_labels_match_categories(self):
+        space = make_taxonomy_space(100, 10, seed=0)
+        assert set(space.labels.tolist()) == set(range(10))
+
+    def test_within_category_closer_than_across(self):
+        space = make_taxonomy_space(120, 8, within_std=0.2, level_scale=3.0, seed=0)
+        labels = space.labels
+        rng = np.random.default_rng(0)
+        same, diff = [], []
+        for _ in range(300):
+            i, j = rng.integers(0, len(space), size=2)
+            if i == j:
+                continue
+            d = space.distance(int(i), int(j))
+            (same if labels[i] == labels[j] else diff).append(d)
+        assert np.mean(same) < np.mean(diff)
+
+    def test_overlap_increases_ambiguity(self):
+        clean = make_taxonomy_space(100, 8, overlap=0.0, seed=1)
+        fuzzy = make_taxonomy_space(100, 8, overlap=0.4, seed=1)
+
+        def within_over_across(space):
+            labels = space.labels
+            rng = np.random.default_rng(2)
+            same, diff = [], []
+            for _ in range(400):
+                i, j = rng.integers(0, len(space), size=2)
+                if i == j:
+                    continue
+                d = space.distance(int(i), int(j))
+                (same if labels[i] == labels[j] else diff).append(d)
+            return np.mean(same) / np.mean(diff)
+
+        assert within_over_across(fuzzy) > within_over_across(clean)
+
+    def test_is_a_metric(self):
+        space = make_taxonomy_space(40, 5, seed=3)
+        assert is_metric(space, max_points=20, seed=0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            make_taxonomy_space(0, 1)
+        with pytest.raises(InvalidParameterError):
+            make_taxonomy_space(10, 20)
+        with pytest.raises(InvalidParameterError):
+            make_taxonomy_space(10, 2, branching=1)
+        with pytest.raises(InvalidParameterError):
+            make_taxonomy_space(10, 2, overlap=1.0)
+
+
+class TestRegistry:
+    def test_all_names_load(self):
+        for name in DATASET_NAMES:
+            space = load_dataset(name, n_points=40, seed=0)
+            assert len(space) >= 40  # cities may add a couple of outliers
+
+    def test_default_sizes_used(self):
+        space = load_dataset("monuments", seed=0)
+        assert len(space) >= 100
+
+    def test_case_insensitive(self):
+        assert len(load_dataset("CALTECH", n_points=30, seed=0)) == 30
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_dataset("imagenet")
+
+    def test_invalid_size(self):
+        with pytest.raises(DatasetError):
+            load_dataset("cities", n_points=0)
+
+    def test_reproducible_by_seed(self):
+        a = load_dataset("amazon", n_points=50, seed=9)
+        b = load_dataset("amazon", n_points=50, seed=9)
+        assert np.allclose(a.points, b.points)

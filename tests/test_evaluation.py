@@ -1,0 +1,142 @@
+"""Tests for the evaluation metrics (F-score, objectives, ranks, merges)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    average_merge_distance,
+    merge_distance_ratios,
+    normalized_distance,
+    normalized_objective,
+    pairwise_fscore,
+    pairwise_precision_recall,
+)
+from repro.evaluation.clustering import cluster_sizes
+from repro.evaluation.ranks import distance_of_returned, rank_among_candidates
+from repro.exceptions import InvalidParameterError
+from repro.hierarchical import exact_linkage
+from repro.kcenter import greedy_kcenter_exact
+from repro.kcenter.objective import ClusteringResult
+
+
+class TestFScore:
+    def test_perfect_prediction(self):
+        truth = [0, 0, 1, 1, 2]
+        assert pairwise_fscore(truth, truth) == pytest.approx(1.0)
+
+    def test_label_permutation_invariant(self):
+        truth = [0, 0, 1, 1]
+        predicted = [5, 5, 9, 9]
+        assert pairwise_fscore(predicted, truth) == pytest.approx(1.0)
+
+    def test_all_singletons_has_zero_recall(self):
+        truth = [0, 0, 0, 0]
+        predicted = [0, 1, 2, 3]
+        precision, recall = pairwise_precision_recall(predicted, truth)
+        assert precision == 1.0  # no predicted positive pairs -> vacuous precision
+        assert recall == 0.0
+        assert pairwise_fscore(predicted, truth) == pytest.approx(0.0)
+
+    def test_everything_in_one_cluster_has_low_precision(self):
+        truth = [0, 0, 1, 1, 2, 2]
+        predicted = [0] * 6
+        precision, recall = pairwise_precision_recall(predicted, truth)
+        assert recall == 1.0
+        assert precision == pytest.approx(3 / 15)
+
+    def test_known_intermediate_value(self):
+        truth = [0, 0, 1, 1]
+        predicted = [0, 0, 0, 1]
+        precision, recall = pairwise_precision_recall(predicted, truth)
+        assert precision == pytest.approx(1 / 3)
+        assert recall == pytest.approx(1 / 2)
+        assert pairwise_fscore(predicted, truth) == pytest.approx(0.4)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            pairwise_fscore([0, 1], [0, 1, 2])
+
+    def test_single_point_is_perfect(self):
+        assert pairwise_fscore([0], [7]) == pytest.approx(1.0)
+
+
+class TestClusteringEvaluation:
+    def test_normalized_objective_of_exact_greedy_is_one(self, blob_space):
+        result = greedy_kcenter_exact(blob_space, k=4, first_center=0)
+        value = normalized_objective(blob_space, result, baseline=result)
+        assert value == pytest.approx(1.0)
+
+    def test_normalized_objective_against_computed_baseline(self, blob_space):
+        worse = ClusteringResult(
+            centers=[0], assignment={i: 0 for i in range(len(blob_space))}
+        )
+        value = normalized_objective(blob_space, worse, k=4, seed=0)
+        assert value > 1.0
+
+    def test_cluster_sizes(self, blob_space):
+        result = greedy_kcenter_exact(blob_space, k=3, first_center=0)
+        sizes = cluster_sizes(result)
+        assert sum(sizes) == len(blob_space)
+        assert len(sizes) == 3
+
+
+class TestRankMetrics:
+    def test_distance_of_returned(self, small_points):
+        assert distance_of_returned(small_points, 0, 1) == pytest.approx(
+            small_points.distance(0, 1)
+        )
+
+    def test_normalized_distance_farthest_bounds(self, small_points):
+        far = small_points.farthest_from(0)
+        assert normalized_distance(small_points, 0, far) == pytest.approx(1.0)
+        near = small_points.nearest_to(0)
+        assert normalized_distance(small_points, 0, near) < 1.0
+
+    def test_normalized_distance_nearest(self, small_points):
+        near = small_points.nearest_to(0)
+        assert normalized_distance(small_points, 0, near, reference="nearest") == pytest.approx(1.0)
+        far = small_points.farthest_from(0)
+        assert normalized_distance(small_points, 0, far, reference="nearest") > 1.0
+
+    def test_normalized_distance_invalid_reference(self, small_points):
+        with pytest.raises(InvalidParameterError):
+            normalized_distance(small_points, 0, 1, reference="median")
+
+    def test_rank_among_candidates(self, small_points):
+        far = small_points.farthest_from(0)
+        assert rank_among_candidates(small_points, 0, far) == 1
+        near = small_points.nearest_to(0)
+        assert rank_among_candidates(small_points, 0, near, farthest=False) == 1
+
+    def test_rank_among_candidates_requires_membership(self, small_points):
+        with pytest.raises(InvalidParameterError):
+            rank_among_candidates(small_points, 0, 5, candidates=[1, 2])
+
+
+class TestMergeMetrics:
+    def test_average_merge_distance_from_recorded(self, small_points):
+        den = exact_linkage(small_points, linkage="single")
+        avg = average_merge_distance(den, small_points)
+        assert avg > 0.0
+
+    def test_merge_ratio_of_identical_dendrograms_is_one(self, small_points):
+        den = exact_linkage(small_points, linkage="single")
+        ratios = merge_distance_ratios(den, den, space=small_points)
+        assert np.allclose(ratios, 1.0)
+
+    def test_merge_ratio_length_mismatch_rejected(self, small_points):
+        full = exact_linkage(small_points)
+        partial = exact_linkage(small_points, n_merges=3)
+        with pytest.raises(InvalidParameterError):
+            merge_distance_ratios(full, partial, space=small_points)
+
+    def test_missing_distances_need_space(self, small_points):
+        from repro.oracles import DistanceQuadrupletOracle
+        from repro.hierarchical import noisy_linkage
+
+        oracle = DistanceQuadrupletOracle(small_points)
+        den = noisy_linkage(oracle, seed=0)  # no space -> no recorded distances
+        with pytest.raises(InvalidParameterError):
+            average_merge_distance(den)
+        # Passing the space computes them on demand.
+        assert average_merge_distance(den, small_points) > 0.0

@@ -1,0 +1,52 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    ClusteringError,
+    DatasetError,
+    EmptyInputError,
+    InvalidParameterError,
+    NotAMetricError,
+    QueryBudgetExceededError,
+    ReproError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc_class",
+    [
+        InvalidParameterError,
+        EmptyInputError,
+        QueryBudgetExceededError,
+        NotAMetricError,
+        DatasetError,
+        ClusteringError,
+    ],
+)
+def test_all_exceptions_derive_from_repro_error(exc_class):
+    assert issubclass(exc_class, ReproError)
+
+
+def test_value_errors_are_also_value_errors():
+    assert issubclass(InvalidParameterError, ValueError)
+    assert issubclass(EmptyInputError, ValueError)
+    assert issubclass(NotAMetricError, ValueError)
+    assert issubclass(DatasetError, ValueError)
+
+
+def test_budget_error_carries_counter():
+    sentinel = object()
+    err = QueryBudgetExceededError("over budget", counter=sentinel)
+    assert err.counter is sentinel
+    assert "over budget" in str(err)
+
+
+def test_budget_error_counter_defaults_to_none():
+    err = QueryBudgetExceededError("boom")
+    assert err.counter is None
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(ReproError):
+        raise DatasetError("nope")

@@ -1,0 +1,96 @@
+"""Tests for the dendrogram data structure."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ClusteringError, InvalidParameterError
+from repro.hierarchical.dendrogram import Dendrogram, MergeStep
+
+
+def _chain_dendrogram():
+    """Four leaves merged left-to-right: ((0, 1), 2), 3."""
+    den = Dendrogram(n_leaves=4)
+    den.add_merge(MergeStep(left=0, right=1, merged=4, witness_pair=(0, 1), true_distance=1.0, size=2))
+    den.add_merge(MergeStep(left=4, right=2, merged=5, witness_pair=(1, 2), true_distance=2.0, size=3))
+    den.add_merge(MergeStep(left=5, right=3, merged=6, witness_pair=(2, 3), true_distance=3.0, size=4))
+    return den
+
+
+def test_needs_at_least_one_leaf():
+    with pytest.raises(InvalidParameterError):
+        Dendrogram(n_leaves=0)
+
+
+def test_merge_ids_must_be_sequential():
+    den = Dendrogram(n_leaves=3)
+    with pytest.raises(ClusteringError):
+        den.add_merge(MergeStep(left=0, right=1, merged=7, witness_pair=(0, 1)))
+
+
+def test_is_complete_flag():
+    den = _chain_dendrogram()
+    assert den.is_complete
+    partial = Dendrogram(n_leaves=4)
+    partial.add_merge(MergeStep(left=0, right=1, merged=4, witness_pair=(0, 1), size=2))
+    assert not partial.is_complete
+
+
+def test_members_accumulate_leaves():
+    members = _chain_dendrogram().members()
+    assert members[4] == [0, 1]
+    assert members[5] == [0, 1, 2]
+    assert sorted(members[6]) == [0, 1, 2, 3]
+
+
+def test_cut_into_two_clusters():
+    labels = _chain_dendrogram().cut(2)
+    assert labels[0] == labels[1] == labels[2]
+    assert labels[3] != labels[0]
+
+
+def test_cut_into_n_clusters_is_identity_partition():
+    labels = _chain_dendrogram().cut(4)
+    assert len(set(labels.tolist())) == 4
+
+
+def test_cut_single_cluster():
+    labels = _chain_dendrogram().cut(1)
+    assert len(set(labels.tolist())) == 1
+
+
+def test_cut_bounds_validated():
+    den = _chain_dendrogram()
+    with pytest.raises(InvalidParameterError):
+        den.cut(0)
+    with pytest.raises(InvalidParameterError):
+        den.cut(5)
+
+
+def test_cut_incomplete_dendrogram_below_recorded_merges_rejected():
+    den = Dendrogram(n_leaves=5)
+    den.add_merge(MergeStep(left=0, right=1, merged=5, witness_pair=(0, 1), size=2))
+    # 4 clusters exist after one merge; asking for 2 would need merges that
+    # were never recorded.
+    with pytest.raises(ClusteringError):
+        den.cut(2)
+    labels = den.cut(4)
+    assert len(set(labels.tolist())) == 4
+
+
+def test_witness_pairs_and_distances_in_order():
+    den = _chain_dendrogram()
+    assert den.merge_witness_pairs() == [(0, 1), (1, 2), (2, 3)]
+    assert den.true_merge_distances() == [1.0, 2.0, 3.0]
+
+
+def test_linkage_matrix_shape():
+    matrix = _chain_dendrogram().to_linkage_matrix()
+    assert matrix.shape == (3, 4)
+    assert matrix[0, 0] == 0 and matrix[0, 1] == 1
+    assert matrix[2, 3] == 4  # final cluster size
+
+
+def test_single_leaf_dendrogram_trivially_complete():
+    den = Dendrogram(n_leaves=1)
+    assert den.is_complete
+    assert den.cut(1).tolist() == [0]

@@ -1,0 +1,102 @@
+"""Tests for the exact greedy (Gonzalez) k-center baseline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.kcenter import greedy_kcenter_exact, kcenter_objective
+from repro.kcenter.objective import kcenter_objective_for_centers
+from repro.metric.space import PointCloudSpace
+
+
+def test_selects_k_distinct_centers(blob_space):
+    result = greedy_kcenter_exact(blob_space, k=4, seed=0)
+    assert len(result.centers) == 4
+    assert len(set(result.centers)) == 4
+
+
+def test_every_point_assigned_to_nearest_center(blob_space):
+    result = greedy_kcenter_exact(blob_space, k=4, seed=0)
+    for point, center in result.assignment.items():
+        nearest = min(
+            result.centers, key=lambda c: blob_space.distance(point, c)
+        )
+        assert blob_space.distance(point, center) == pytest.approx(
+            blob_space.distance(point, nearest)
+        )
+
+
+def test_centers_assigned_to_themselves(blob_space):
+    result = greedy_kcenter_exact(blob_space, k=3, seed=1)
+    for c in result.centers:
+        assert result.assignment[c] == c
+
+
+def test_recovers_well_separated_blobs(small_points):
+    # One center per blob: radius is tiny compared to inter-blob distance.
+    result = greedy_kcenter_exact(small_points, k=3, seed=0)
+    blobs_hit = {c // 5 for c in result.centers}
+    assert blobs_hit == {0, 1, 2}
+    assert kcenter_objective(small_points, result) < 2.0
+
+
+def test_objective_decreases_with_k(blob_space):
+    objectives = [
+        kcenter_objective(blob_space, greedy_kcenter_exact(blob_space, k, first_center=0))
+        for k in (1, 2, 4, 8)
+    ]
+    assert all(b <= a + 1e-9 for a, b in zip(objectives, objectives[1:]))
+
+
+def test_two_approximation_on_line():
+    # Points at 0, 1, 2, ..., 9; optimal 2-center objective is 2.0 (centers 2, 7).
+    space = PointCloudSpace(np.arange(10, dtype=float).reshape(-1, 1))
+    result = greedy_kcenter_exact(space, k=2, first_center=0)
+    optimum = 2.0
+    assert kcenter_objective(space, result) <= 2 * optimum + 1e-9
+
+
+def test_first_center_respected(blob_space):
+    result = greedy_kcenter_exact(blob_space, k=3, first_center=7)
+    assert result.centers[0] == 7
+
+
+def test_first_center_must_be_a_point(blob_space):
+    with pytest.raises(InvalidParameterError):
+        greedy_kcenter_exact(blob_space, k=2, points=[0, 1, 2], first_center=50)
+
+
+def test_points_subset(blob_space):
+    subset = list(range(10))
+    result = greedy_kcenter_exact(blob_space, k=2, points=subset, seed=0)
+    assert set(result.assignment) == set(subset)
+    assert all(c in subset for c in result.centers)
+
+
+def test_invalid_k_rejected(blob_space):
+    with pytest.raises(InvalidParameterError):
+        greedy_kcenter_exact(blob_space, k=0)
+    with pytest.raises(InvalidParameterError):
+        greedy_kcenter_exact(blob_space, k=len(blob_space) + 1)
+
+
+def test_empty_points_rejected(blob_space):
+    with pytest.raises(EmptyInputError):
+        greedy_kcenter_exact(blob_space, k=1, points=[])
+
+
+def test_k_equals_n_gives_zero_objective(small_points):
+    result = greedy_kcenter_exact(small_points, k=len(small_points), seed=0)
+    assert kcenter_objective(small_points, result) == pytest.approx(0.0)
+
+
+def test_duplicate_points_stop_early():
+    space = PointCloudSpace(np.zeros((5, 2)))
+    result = greedy_kcenter_exact(space, k=3, seed=0)
+    # All points coincide: greedy cannot find 3 distinct centers and stops.
+    assert len(result.centers) >= 1
+    assert kcenter_objective(space, result) == 0.0
+
+
+def test_uses_no_oracle_queries(blob_space):
+    assert greedy_kcenter_exact(blob_space, k=3, seed=0).n_queries == 0

@@ -1,0 +1,91 @@
+"""Tests for the k-center result container and objective evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ClusteringError, InvalidParameterError
+from repro.kcenter.objective import (
+    ClusteringResult,
+    kcenter_objective,
+    kcenter_objective_for_centers,
+)
+
+
+def _simple_result():
+    return ClusteringResult(
+        centers=[0, 5],
+        assignment={0: 0, 1: 0, 2: 0, 5: 5, 6: 5},
+    )
+
+
+def test_k_property():
+    assert _simple_result().k == 2
+
+
+def test_duplicate_centers_rejected():
+    with pytest.raises(ClusteringError):
+        ClusteringResult(centers=[0, 0], assignment={0: 0})
+
+
+def test_assignment_to_non_center_rejected():
+    with pytest.raises(ClusteringError):
+        ClusteringResult(centers=[0], assignment={1: 2})
+
+
+def test_cluster_members_sorted():
+    members = _simple_result().cluster_members()
+    assert members[0] == [0, 1, 2]
+    assert members[5] == [5, 6]
+
+
+def test_labels_are_center_indices():
+    labels = _simple_result().labels(n_points=7)
+    assert labels[0] == 0 and labels[2] == 0
+    assert labels[5] == 1 and labels[6] == 1
+    assert labels[3] == -1  # unassigned point
+
+
+def test_labels_default_size():
+    labels = _simple_result().labels()
+    assert len(labels) == 7
+
+
+def test_kcenter_objective_matches_manual(small_points):
+    result = ClusteringResult(
+        centers=[0, 5, 10],
+        assignment={i: (0 if i < 5 else 5 if i < 10 else 10) for i in range(15)},
+    )
+    expected = max(
+        small_points.distance(i, result.assignment[i]) for i in range(15)
+    )
+    assert kcenter_objective(small_points, result) == pytest.approx(expected)
+
+
+def test_kcenter_objective_empty_assignment_rejected(small_points):
+    result = ClusteringResult(centers=[0], assignment={})
+    with pytest.raises(InvalidParameterError):
+        kcenter_objective(small_points, result)
+
+
+def test_objective_for_centers_best_assignment(small_points):
+    # Using the true blob centers gives a small radius; a single center is much worse.
+    good = kcenter_objective_for_centers(small_points, [0, 5, 10])
+    bad = kcenter_objective_for_centers(small_points, [0])
+    assert good < bad
+
+
+def test_objective_for_centers_subset_of_points(small_points):
+    value = kcenter_objective_for_centers(small_points, [0], points=[0, 1, 2])
+    manual = max(small_points.distance(p, 0) for p in [0, 1, 2])
+    assert value == pytest.approx(manual)
+
+
+def test_objective_for_centers_requires_centers(small_points):
+    with pytest.raises(InvalidParameterError):
+        kcenter_objective_for_centers(small_points, [])
+
+
+def test_meta_and_queries_default():
+    result = _simple_result()
+    assert result.n_queries == 0
+    assert result.meta == {}

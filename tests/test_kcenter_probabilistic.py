@@ -1,0 +1,170 @@
+"""Tests for k-center clustering under probabilistic noise (Algorithms 7-10)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.kcenter import greedy_kcenter_exact, kcenter_objective, kcenter_probabilistic
+from repro.kcenter.probabilistic import acount, cluster_comp, identify_core
+from repro.oracles import (
+    DistanceQuadrupletOracle,
+    ExactNoise,
+    ProbabilisticNoise,
+    QueryCounter,
+)
+
+
+def _oracle(space, p=0.0, seed=0):
+    noise = ExactNoise() if p == 0.0 else ProbabilisticNoise(p=p, seed=seed)
+    return DistanceQuadrupletOracle(space, noise=noise, counter=QueryCounter())
+
+
+class TestIdentifyCore:
+    def test_core_contains_center_and_close_points(self, small_points):
+        oracle = _oracle(small_points)
+        members = list(range(5)) + [7, 12]  # blob 0 plus two far points
+        core = identify_core(oracle, members, center=0, core_size=4)
+        assert core[0] == 0
+        assert len(core) == 4
+        # The far points should not beat the blob-mates with a perfect oracle.
+        assert 7 not in core and 12 not in core
+
+    def test_core_size_clamped_to_members(self, small_points):
+        oracle = _oracle(small_points)
+        core = identify_core(oracle, [0, 1, 2], center=0, core_size=10, prune_fraction=0.0)
+        assert set(core) == {0, 1, 2}
+
+    def test_core_prunes_far_members_of_tiny_clusters(self, small_points):
+        # A tiny cluster that accidentally absorbed a far-away point (10) must
+        # not put that point into its core, even though the requested core
+        # size would allow it.
+        oracle = _oracle(small_points)
+        core = identify_core(oracle, [0, 1, 2, 10], center=0, core_size=10)
+        assert 10 not in core
+        assert 0 in core and 1 in core
+
+    def test_core_prune_fraction_validated(self, small_points):
+        oracle = _oracle(small_points)
+        with pytest.raises(InvalidParameterError):
+            identify_core(oracle, [0, 1, 2], center=0, core_size=3, prune_fraction=1.5)
+
+    def test_core_size_validation(self, small_points):
+        oracle = _oracle(small_points)
+        with pytest.raises(InvalidParameterError):
+            identify_core(oracle, [0, 1], center=0, core_size=0)
+
+    def test_core_robust_to_probabilistic_noise(self, small_points):
+        oracle = _oracle(small_points, p=0.2, seed=0)
+        members = list(range(5)) + [5, 6, 7]
+        core = identify_core(oracle, members, center=0, core_size=4)
+        # Most of the core should still come from the true blob of the center.
+        assert len(set(core) & {0, 1, 2, 3, 4}) >= 3
+
+
+class TestACountAndClusterComp:
+    def test_acount_counts_closer_center(self, small_points):
+        oracle = _oracle(small_points)
+        # Point 6 (blob 1): new center 5 (same blob) vs the core of blob 0.
+        score = acount(oracle, point=6, new_center=5, current_core=[0, 1, 2, 3])
+        assert score == 4
+        # Point 1 (blob 0) is NOT closer to 5 than to blob-0 core points.
+        score_keep = acount(oracle, point=1, new_center=5, current_core=[0, 2, 3, 4])
+        assert score_keep == 0
+
+    def test_cluster_comp_same_cluster_uses_full_core(self, small_points):
+        oracle = _oracle(small_points)
+        cores = {0: [0, 1, 2, 3]}
+        subset = {0: [0, 1]}
+        # Both v_i=4 and v_j=9 compared against center 0's cluster; 4 is closer.
+        assert cluster_comp(oracle, 4, 0, 9, 0, cores, subset) is True
+        assert cluster_comp(oracle, 9, 0, 4, 0, cores, subset) is False
+
+    def test_cluster_comp_cross_cluster(self, small_points):
+        oracle = _oracle(small_points)
+        cores = {0: [0, 1, 2], 5: [5, 6, 7]}
+        subset = {0: [0, 1], 5: [5, 6]}
+        # Point 3 is close to its center 0; point 10 is in a different blob
+        # than its center 5, hence much farther from it.
+        assert cluster_comp(oracle, 3, 0, 10, 5, cores, subset) is True
+        assert cluster_comp(oracle, 10, 5, 3, 0, cores, subset) is False
+
+    def test_cluster_comp_falls_back_without_anchors(self, small_points):
+        oracle = _oracle(small_points)
+        cores = {0: [0], 5: [5]}
+        subset = {0: [0], 5: [5]}
+        answer = cluster_comp(oracle, 1, 0, 6, 5, cores, subset)
+        assert isinstance(answer, bool)
+
+
+class TestKCenterProbabilistic:
+    def test_returns_k_centers_and_full_assignment(self, blob_space):
+        oracle = _oracle(blob_space, p=0.1, seed=0)
+        result = kcenter_probabilistic(oracle, k=4, min_cluster_size=10, seed=0)
+        assert len(set(result.centers)) == 4
+        assert set(result.assignment) == set(range(len(blob_space)))
+
+    def test_noise_free_recovers_good_objective(self, blob_space):
+        oracle = _oracle(blob_space)
+        result = kcenter_probabilistic(oracle, k=4, min_cluster_size=10, seed=1)
+        exact = greedy_kcenter_exact(blob_space, k=4, first_center=result.centers[0])
+        assert kcenter_objective(blob_space, result) <= 4.0 * kcenter_objective(
+            blob_space, exact
+        ) + 1e-9
+
+    def test_probabilistic_noise_constant_factor(self, blob_space):
+        """Theorem 4.4 shape: O(1)-approximation despite p = 0.2 noise."""
+        oracle = _oracle(blob_space, p=0.2, seed=3)
+        result = kcenter_probabilistic(oracle, k=4, min_cluster_size=10, seed=3)
+        exact = greedy_kcenter_exact(blob_space, k=4, first_center=result.centers[0])
+        ratio = kcenter_objective(blob_space, result) / max(
+            1e-12, kcenter_objective(blob_space, exact)
+        )
+        assert ratio < 10.0
+
+    def test_query_count_recorded(self, blob_space):
+        oracle = _oracle(blob_space, p=0.1, seed=0)
+        result = kcenter_probabilistic(oracle, k=3, min_cluster_size=10, seed=0)
+        assert result.n_queries > 0
+        assert result.meta["noise_model"] == "probabilistic"
+        assert result.meta["sample_size"] >= 3
+
+    def test_first_center_respected(self, blob_space):
+        oracle = _oracle(blob_space)
+        result = kcenter_probabilistic(
+            oracle, k=3, min_cluster_size=10, first_center=2, seed=0
+        )
+        assert result.centers[0] == 2
+
+    def test_small_min_cluster_size_falls_back_to_full_sample(self, small_points):
+        oracle = _oracle(small_points)
+        result = kcenter_probabilistic(oracle, k=3, min_cluster_size=1, seed=0)
+        assert result.meta["sample_probability"] == 1.0
+
+    def test_invalid_parameters(self, blob_space):
+        oracle = _oracle(blob_space)
+        with pytest.raises(InvalidParameterError):
+            kcenter_probabilistic(oracle, k=0, min_cluster_size=5)
+        with pytest.raises(InvalidParameterError):
+            kcenter_probabilistic(oracle, k=2, min_cluster_size=0)
+        with pytest.raises(InvalidParameterError):
+            kcenter_probabilistic(oracle, k=2, min_cluster_size=5, gamma=0.0)
+        with pytest.raises(EmptyInputError):
+            kcenter_probabilistic(oracle, k=1, min_cluster_size=5, points=[])
+
+    def test_core_size_override(self, blob_space):
+        oracle = _oracle(blob_space, p=0.1, seed=0)
+        result = kcenter_probabilistic(
+            oracle, k=3, min_cluster_size=10, core_size=3, seed=0
+        )
+        assert result.meta["core_size"] == 3
+
+    def test_reproducible_with_seed(self, blob_space):
+        a = kcenter_probabilistic(
+            _oracle(blob_space, p=0.15, seed=4), k=3, min_cluster_size=10, seed=11
+        )
+        b = kcenter_probabilistic(
+            _oracle(blob_space, p=0.15, seed=4), k=3, min_cluster_size=10, seed=11
+        )
+        assert a.centers == b.centers

@@ -1,0 +1,137 @@
+"""Tests for Count-Max-Prob (Algorithm 12) and rank utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.maximum.probabilistic import (
+    MaxProbParameters,
+    max_probabilistic,
+    min_probabilistic,
+)
+from repro.maximum.ranking import approximation_ratio, rank_of, top_k_true
+from repro.oracles import ExactNoise, ProbabilisticNoise, ValueComparisonOracle
+
+
+class TestParameters:
+    def test_defaults(self):
+        params = MaxProbParameters.from_defaults(1000, delta=0.1)
+        assert params.anchor_size >= 2
+        assert params.threshold == pytest.approx(params.anchor_size / 2)
+        assert params.max_rounds >= 1
+        assert params.final_size >= params.anchor_size
+
+    def test_anchor_capped_by_n(self):
+        params = MaxProbParameters.from_defaults(5, delta=0.1, anchor_factor=100)
+        assert params.anchor_size <= 4
+
+    def test_invalid(self):
+        with pytest.raises(EmptyInputError):
+            MaxProbParameters.from_defaults(0)
+        with pytest.raises(InvalidParameterError):
+            MaxProbParameters.from_defaults(10, delta=0.0)
+        with pytest.raises(InvalidParameterError):
+            MaxProbParameters.from_defaults(10, anchor_factor=0.0)
+
+
+class TestMaxProbabilistic:
+    def test_exact_oracle_returns_true_maximum(self):
+        values = np.random.default_rng(0).uniform(0, 100, size=150)
+        oracle = ValueComparisonOracle(values, noise=ExactNoise())
+        winner = max_probabilistic(list(range(150)), oracle, seed=0)
+        assert winner == int(np.argmax(values))
+
+    def test_exact_oracle_minimum(self):
+        values = np.random.default_rng(1).uniform(0, 100, size=150)
+        oracle = ValueComparisonOracle(values, noise=ExactNoise())
+        winner = min_probabilistic(list(range(150)), oracle, seed=0)
+        assert winner == int(np.argmin(values))
+
+    def test_noisy_oracle_returns_high_rank_value(self):
+        """Theorem 3.7: the returned value has small rank with high probability."""
+        rng = np.random.default_rng(4)
+        n = 300
+        good = 0
+        trials = 8
+        for trial in range(trials):
+            values = rng.uniform(0, 1000, size=n)
+            oracle = ValueComparisonOracle(
+                values, noise=ProbabilisticNoise(p=0.25, seed=trial)
+            )
+            winner = max_probabilistic(list(range(n)), oracle, delta=0.1, seed=trial)
+            if rank_of(values, winner) <= 30:
+                good += 1
+        assert good >= trials - 1
+
+    def test_small_inputs(self, exact_value_oracle):
+        assert max_probabilistic([2], exact_value_oracle) == 2
+        assert max_probabilistic([0, 3], exact_value_oracle, seed=0) == 3
+
+    def test_empty_rejected(self, exact_value_oracle):
+        with pytest.raises(EmptyInputError):
+            max_probabilistic([], exact_value_oracle)
+
+    def test_query_complexity_near_linear(self):
+        n = 400
+        values = np.random.default_rng(5).uniform(0, 100, size=n)
+        oracle = ValueComparisonOracle(
+            values, noise=ProbabilisticNoise(p=0.2, seed=0), cache_answers=False
+        )
+        max_probabilistic(list(range(n)), oracle, delta=0.1, seed=0)
+        # O(n log^2 n) with modest constants: far below the quadratic count.
+        assert oracle.counter.total_queries < n * n / 4
+
+    def test_reproducible_with_seed(self):
+        values = np.random.default_rng(2).uniform(0, 10, size=100)
+        oracle = ValueComparisonOracle(values, noise=ProbabilisticNoise(p=0.3, seed=1))
+        a = max_probabilistic(list(range(100)), oracle, seed=6)
+        b = max_probabilistic(list(range(100)), oracle, seed=6)
+        assert a == b
+
+    def test_respects_subset(self, small_values, exact_value_oracle):
+        subset = [0, 4, 6]
+        winner = max_probabilistic(subset, exact_value_oracle, seed=0)
+        assert winner == 0  # value 5.0 is the largest among {5.0, 1.0, 3.3}
+
+
+class TestRankingHelpers:
+    def test_rank_of_descending(self, small_values):
+        assert rank_of(small_values, 3) == 1
+        assert rank_of(small_values, 4) == len(small_values)
+
+    def test_rank_of_ascending(self, small_values):
+        assert rank_of(small_values, 4, descending=False) == 1
+
+    def test_rank_of_invalid_index(self, small_values):
+        with pytest.raises(InvalidParameterError):
+            rank_of(small_values, 99)
+
+    def test_rank_of_empty(self):
+        with pytest.raises(EmptyInputError):
+            rank_of([], 0)
+
+    def test_top_k_true(self, small_values):
+        top3 = top_k_true(small_values, 3)
+        assert list(top3) == [3, 9, 7]
+
+    def test_top_k_invalid(self, small_values):
+        with pytest.raises(InvalidParameterError):
+            top_k_true(small_values, 0)
+        with pytest.raises(InvalidParameterError):
+            top_k_true(small_values, 100)
+
+    def test_approximation_ratio_max(self, small_values):
+        assert approximation_ratio(small_values, 3) == pytest.approx(1.0)
+        assert approximation_ratio(small_values, 7) == pytest.approx(100.0 / 58.0)
+
+    def test_approximation_ratio_min(self, small_values):
+        assert approximation_ratio(small_values, 4, reference="min") == pytest.approx(1.0)
+        assert approximation_ratio(small_values, 0, reference="min") == pytest.approx(5.0)
+
+    def test_approximation_ratio_zero_denominator(self):
+        assert approximation_ratio([0.0, 1.0], 0) == float("inf")
+        assert approximation_ratio([0.0, 0.0], 0) == 1.0
+
+    def test_approximation_ratio_invalid_reference(self, small_values):
+        with pytest.raises(InvalidParameterError):
+            approximation_ratio(small_values, 0, reference="median")

@@ -1,0 +1,102 @@
+"""Tests for the distance functions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.metric.distances import (
+    DISTANCE_FUNCTIONS,
+    chebyshev_distance,
+    cosine_distance,
+    euclidean_distance,
+    get_distance_function,
+    haversine_distance,
+    manhattan_distance,
+    minkowski_distance,
+)
+
+
+def test_euclidean_matches_numpy():
+    a = np.array([1.0, 2.0, 3.0])
+    b = np.array([4.0, 6.0, 3.0])
+    assert euclidean_distance(a, b) == pytest.approx(np.linalg.norm(a - b))
+
+
+def test_euclidean_zero_for_identical_points():
+    a = np.array([3.0, -2.0])
+    assert euclidean_distance(a, a) == 0.0
+
+
+def test_euclidean_batch_broadcasts():
+    a = np.zeros((4, 2))
+    b = np.ones((4, 2))
+    result = euclidean_distance(a, b)
+    assert result.shape == (4,)
+    assert np.allclose(result, np.sqrt(2))
+
+
+def test_manhattan_known_value():
+    assert manhattan_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(7.0)
+
+
+def test_chebyshev_known_value():
+    assert chebyshev_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(4.0)
+
+
+def test_minkowski_interpolates_between_l1_and_l2():
+    a, b = [0.0, 0.0], [3.0, 4.0]
+    assert minkowski_distance(a, b, p=1) == pytest.approx(manhattan_distance(a, b))
+    assert minkowski_distance(a, b, p=2) == pytest.approx(euclidean_distance(a, b))
+
+
+def test_minkowski_rejects_p_below_one():
+    with pytest.raises(InvalidParameterError):
+        minkowski_distance([0.0], [1.0], p=0.5)
+
+
+def test_cosine_orthogonal_vectors():
+    assert cosine_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+
+def test_cosine_parallel_vectors():
+    assert cosine_distance([2.0, 2.0], [4.0, 4.0]) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_cosine_zero_vector_is_max_distance():
+    assert cosine_distance([0.0, 0.0], [1.0, 1.0]) == pytest.approx(1.0)
+
+
+def test_haversine_same_point_zero():
+    assert haversine_distance([40.0, -74.0], [40.0, -74.0]) == pytest.approx(0.0)
+
+
+def test_haversine_known_distance_nyc_la():
+    nyc = [40.7128, -74.0060]
+    la = [34.0522, -118.2437]
+    d = haversine_distance(nyc, la)
+    # Great-circle NYC-LA distance is roughly 3940 km.
+    assert 3900 < d < 3990
+
+
+def test_haversine_symmetric():
+    a, b = [10.0, 20.0], [-30.0, 140.0]
+    assert haversine_distance(a, b) == pytest.approx(haversine_distance(b, a))
+
+
+@pytest.mark.parametrize("name", sorted(DISTANCE_FUNCTIONS))
+def test_registry_functions_are_nonnegative_and_symmetric(name):
+    fn = get_distance_function(name)
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        a = rng.normal(size=2) * 10
+        b = rng.normal(size=2) * 10
+        if name == "haversine":
+            a = np.clip(a, -80, 80)
+            b = np.clip(b, -80, 80)
+        assert fn(a, b) >= 0
+        assert fn(a, b) == pytest.approx(fn(b, a))
+
+
+def test_get_distance_function_unknown_name():
+    with pytest.raises(InvalidParameterError):
+        get_distance_function("hamming")

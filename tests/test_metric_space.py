@@ -1,0 +1,137 @@
+"""Tests for the metric-space abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.metric.distances import manhattan_distance
+from repro.metric.space import DistanceMatrixSpace, PointCloudSpace, ValueSpace
+
+
+class TestPointCloudSpace:
+    def test_length_and_dimension(self, small_points):
+        assert len(small_points) == 15
+        assert small_points.n_points == 15
+        assert small_points.dimension == 2
+
+    def test_distance_symmetric_and_zero_diagonal(self, small_points):
+        assert small_points.distance(2, 2) == 0.0
+        assert small_points.distance(1, 7) == pytest.approx(small_points.distance(7, 1))
+
+    def test_distance_matches_manual_euclidean(self, small_points):
+        expected = float(np.linalg.norm(small_points.points[0] - small_points.points[9]))
+        assert small_points.distance(0, 9) == pytest.approx(expected)
+
+    def test_custom_distance_function(self):
+        points = np.array([[0.0, 0.0], [1.0, 2.0]])
+        space = PointCloudSpace(points, distance_fn=manhattan_distance)
+        assert space.distance(0, 1) == pytest.approx(3.0)
+
+    def test_distances_from_all_candidates(self, small_points):
+        dists = small_points.distances_from(0)
+        assert dists.shape == (15,)
+        assert dists[0] == 0.0
+
+    def test_distances_from_subset(self, small_points):
+        dists = small_points.distances_from(0, [5, 6])
+        assert dists.shape == (2,)
+        assert dists[0] == pytest.approx(small_points.distance(0, 5))
+
+    def test_pairwise_distances_symmetric(self, small_points):
+        matrix = small_points.pairwise_distances()
+        assert matrix.shape == (15, 15)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_farthest_and_nearest_exclude_query(self, small_points):
+        far = small_points.farthest_from(0)
+        near = small_points.nearest_to(0)
+        assert far != 0 and near != 0
+        assert small_points.distance(0, far) >= small_points.distance(0, near)
+
+    def test_farthest_from_candidates_respected(self, small_points):
+        far = small_points.farthest_from(0, candidates=[1, 2])
+        assert far in (1, 2)
+
+    def test_index_out_of_range(self, small_points):
+        with pytest.raises(InvalidParameterError):
+            small_points.distance(0, 99)
+
+    def test_1d_points_promoted_to_column(self):
+        space = PointCloudSpace([0.0, 1.0, 4.0])
+        assert space.dimension == 1
+        assert space.distance(0, 2) == pytest.approx(4.0)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(EmptyInputError):
+            PointCloudSpace(np.zeros((0, 2)))
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PointCloudSpace(np.zeros((3, 2)), labels=[0, 1])
+
+    def test_cache_disabled_still_correct(self):
+        points = np.random.default_rng(0).normal(size=(6, 2))
+        cached = PointCloudSpace(points, cache=True)
+        uncached = PointCloudSpace(points, cache=False)
+        assert cached.distance(1, 4) == pytest.approx(uncached.distance(1, 4))
+
+    def test_no_candidates_raises(self):
+        space = PointCloudSpace([[0.0, 0.0]])
+        with pytest.raises(EmptyInputError):
+            space.farthest_from(0)
+
+
+class TestDistanceMatrixSpace:
+    def test_distance_reads_matrix(self, line_matrix_space):
+        assert line_matrix_space.distance(0, 4) == pytest.approx(10.0)
+        assert line_matrix_space.distance(1, 2) == pytest.approx(2.0)
+
+    def test_distances_from_row(self, line_matrix_space):
+        assert np.allclose(line_matrix_space.distances_from(0), [0, 1, 3, 6, 10])
+
+    def test_distances_from_subset(self, line_matrix_space):
+        assert np.allclose(line_matrix_space.distances_from(0, [4, 2]), [10, 3])
+
+    def test_rejects_asymmetric_matrix(self):
+        matrix = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(InvalidParameterError):
+            DistanceMatrixSpace(matrix)
+
+    def test_rejects_negative_distances(self):
+        matrix = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(InvalidParameterError):
+            DistanceMatrixSpace(matrix)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(InvalidParameterError):
+            DistanceMatrixSpace(np.zeros((2, 3)))
+
+    def test_farthest_nearest_on_line(self, line_matrix_space):
+        assert line_matrix_space.farthest_from(0) == 4
+        assert line_matrix_space.nearest_to(0) == 1
+
+
+class TestValueSpace:
+    def test_value_and_len(self, value_space, small_values):
+        assert len(value_space) == len(small_values)
+        assert value_space.value(3) == pytest.approx(100.0)
+
+    def test_argmax_argmin(self, value_space):
+        assert value_space.argmax() == 3
+        assert value_space.argmin() == 4
+
+    def test_rank_of_max_is_one(self, value_space):
+        assert value_space.rank_of(3) == 1
+        assert value_space.rank_of(4) == len(value_space)
+
+    def test_distance_is_absolute_difference(self, value_space):
+        assert value_space.distance(0, 1) == pytest.approx(7.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(EmptyInputError):
+            ValueSpace([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidParameterError):
+            ValueSpace(np.zeros((2, 2)))

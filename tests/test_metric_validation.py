@@ -1,0 +1,74 @@
+"""Tests for metric axiom validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotAMetricError
+from repro.metric.space import DistanceMatrixSpace, PointCloudSpace
+from repro.metric.validation import check_metric_axioms, is_metric
+
+
+def test_euclidean_space_is_metric(small_points):
+    report = check_metric_axioms(small_points)
+    assert report.ok
+    assert report.n_checked_pairs > 0
+    assert report.n_checked_triangles > 0
+
+
+def test_is_metric_true_for_blobs(blob_space):
+    assert is_metric(blob_space, max_points=20, seed=0)
+
+
+def _triangle_violating_space():
+    # d(0, 2) = 10 but d(0, 1) + d(1, 2) = 2: violates the triangle inequality.
+    matrix = np.array(
+        [
+            [0.0, 1.0, 10.0],
+            [1.0, 0.0, 1.0],
+            [10.0, 1.0, 0.0],
+        ]
+    )
+    return DistanceMatrixSpace(matrix)
+
+
+def test_triangle_violation_detected():
+    report = check_metric_axioms(_triangle_violating_space())
+    assert not report.ok
+    assert any(v.axiom == "triangle" for v in report.violations)
+
+
+def test_triangle_violation_raises_when_requested():
+    with pytest.raises(NotAMetricError):
+        check_metric_axioms(_triangle_violating_space(), raise_on_violation=True)
+
+
+def test_identity_violation_detected():
+    class BrokenSpace(PointCloudSpace):
+        def distance(self, i, j):
+            if i == j:
+                return 1.0
+            return super().distance(i, j)
+
+    space = BrokenSpace(np.random.default_rng(0).normal(size=(4, 2)))
+    report = check_metric_axioms(space)
+    assert any(v.axiom == "identity" for v in report.violations)
+
+
+def test_symmetry_violation_detected():
+    class AsymmetricSpace(PointCloudSpace):
+        def distance(self, i, j):
+            base = super().distance(i, j)
+            return base + (0.5 if i < j else 0.0)
+
+    space = AsymmetricSpace(
+        np.random.default_rng(0).normal(size=(4, 2)), cache=False
+    )
+    report = check_metric_axioms(space)
+    assert any(v.axiom == "symmetry" for v in report.violations)
+
+
+def test_subsampling_large_space_bounds_work(blob_space):
+    report = check_metric_axioms(blob_space, max_points=10, seed=1)
+    # 10 points -> 45 pairs, 120 triangles.
+    assert report.n_checked_pairs == 45
+    assert report.n_checked_triangles == 120

@@ -1,0 +1,117 @@
+"""Tests for PairwiseComp (Algorithm 5) and anchor-set helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.neighbors.pairwise import (
+    PairwiseCompOracle,
+    fcount,
+    noisy_anchor_set,
+    pairwise_comp,
+    select_anchor_set,
+)
+from repro.oracles import DistanceQuadrupletOracle, ProbabilisticNoise, QueryCounter
+
+
+def test_fcount_counts_yes_answers(exact_quadruplet_oracle, small_points):
+    # Anchors near point 0 (same blob); candidate 1 is in the blob, candidate 5 is far.
+    anchors = [2, 3, 4]
+    count = fcount(exact_quadruplet_oracle, 1, 5, anchors)
+    assert count == len(anchors)
+    count_reverse = fcount(exact_quadruplet_oracle, 5, 1, anchors)
+    assert count_reverse == 0
+
+
+def test_fcount_empty_anchors_rejected(exact_quadruplet_oracle):
+    with pytest.raises(EmptyInputError):
+        fcount(exact_quadruplet_oracle, 0, 1, [])
+
+
+def test_pairwise_comp_exact(exact_quadruplet_oracle):
+    anchors = [2, 3, 4]
+    assert pairwise_comp(exact_quadruplet_oracle, 1, 5, anchors) is True
+    assert pairwise_comp(exact_quadruplet_oracle, 5, 1, anchors) is False
+
+
+def test_pairwise_comp_threshold_validated(exact_quadruplet_oracle):
+    with pytest.raises(InvalidParameterError):
+        pairwise_comp(exact_quadruplet_oracle, 1, 5, [2, 3], threshold_fraction=0.0)
+
+
+def test_pairwise_comp_lemma_3_9_robustness(blob_space):
+    """With enough anchors, a well-separated comparison is answered correctly w.h.p."""
+    query = 0
+    anchors = select_anchor_set(blob_space, query=query, size=10)
+    near = anchors[0]
+    far = blob_space.farthest_from(query)
+    correct = 0
+    trials = 20
+    for seed in range(trials):
+        noisy = DistanceQuadrupletOracle(
+            blob_space, noise=ProbabilisticNoise(p=0.3, seed=seed)
+        )
+        if pairwise_comp(noisy, near, far, anchors[1:]):
+            correct += 1
+    assert correct >= trials - 2
+
+
+def test_pairwise_comp_oracle_orders_by_distance(exact_quadruplet_oracle):
+    anchors = [1, 2, 3, 4]
+    view = PairwiseCompOracle(exact_quadruplet_oracle, anchors)
+    # Ordering by distance from the (implicit) query region around the anchors:
+    # point 2 (close) has a smaller value than point 6 (far blob).
+    assert view.compare(2, 6) is True
+    assert view.compare(6, 2) is False
+    assert view.compare(6, 6) is True
+
+
+def test_pairwise_comp_oracle_minimize_reverses(exact_quadruplet_oracle):
+    anchors = [1, 2, 3, 4]
+    farthest_view = PairwiseCompOracle(exact_quadruplet_oracle, anchors)
+    nearest_view = PairwiseCompOracle(exact_quadruplet_oracle, anchors, minimize=True)
+    assert farthest_view.compare(2, 6) != nearest_view.compare(2, 6)
+
+
+def test_pairwise_comp_oracle_empty_anchors_rejected(exact_quadruplet_oracle):
+    with pytest.raises(EmptyInputError):
+        PairwiseCompOracle(exact_quadruplet_oracle, [])
+
+
+def test_pairwise_comp_oracle_query_cost(small_points):
+    counter = QueryCounter()
+    oracle = DistanceQuadrupletOracle(small_points, counter=counter, cache_answers=False)
+    anchors = [1, 2, 3]
+    view = PairwiseCompOracle(oracle, anchors)
+    view.compare(5, 10)
+    assert counter.total_queries == len(anchors)
+
+
+def test_select_anchor_set_returns_closest(small_points):
+    anchors = select_anchor_set(small_points, query=0, size=4)
+    assert len(anchors) == 4
+    assert set(anchors) <= {1, 2, 3, 4}  # the rest of point 0's blob
+
+
+def test_select_anchor_set_validations(small_points):
+    with pytest.raises(InvalidParameterError):
+        select_anchor_set(small_points, query=0, size=0)
+    with pytest.raises(EmptyInputError):
+        select_anchor_set(small_points, query=0, size=2, candidates=[0])
+
+
+def test_noisy_anchor_set_mostly_finds_close_points(small_points):
+    oracle = DistanceQuadrupletOracle(
+        small_points, noise=ProbabilisticNoise(p=0.1, seed=0)
+    )
+    anchors = noisy_anchor_set(oracle, query=0, candidates=list(range(1, 15)), size=4, seed=0)
+    assert len(anchors) == 4
+    # At least three of the four selected anchors should be genuine blob-mates.
+    assert len(set(anchors) & {1, 2, 3, 4}) >= 3
+
+
+def test_noisy_anchor_set_validations(exact_quadruplet_oracle):
+    with pytest.raises(EmptyInputError):
+        noisy_anchor_set(exact_quadruplet_oracle, query=0, candidates=[0], size=2)
+    with pytest.raises(InvalidParameterError):
+        noisy_anchor_set(exact_quadruplet_oracle, query=0, candidates=[1, 2], size=0)

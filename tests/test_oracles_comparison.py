@@ -1,0 +1,108 @@
+"""Tests for the value comparison oracle."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.metric.space import ValueSpace
+from repro.oracles import (
+    AdversarialNoise,
+    ExactNoise,
+    ProbabilisticNoise,
+    QueryCounter,
+    ValueComparisonOracle,
+)
+
+
+def test_exact_comparisons_match_values(small_values):
+    oracle = ValueComparisonOracle(small_values)
+    assert oracle.compare(0, 3) is True  # 5 <= 100
+    assert oracle.compare(3, 0) is False
+    assert oracle.compare(5, 9) is True  # 42 <= 61
+
+
+def test_self_comparison_yes_and_free(small_values):
+    oracle = ValueComparisonOracle(small_values, counter=QueryCounter())
+    assert oracle.compare(2, 2) is True
+    assert oracle.counter.total_queries == 0
+
+
+def test_queries_are_counted(small_values):
+    counter = QueryCounter()
+    oracle = ValueComparisonOracle(small_values, counter=counter)
+    oracle.compare(0, 1)
+    oracle.compare(1, 2)
+    assert counter.total_queries == 2
+
+
+def test_accepts_value_space_instance(small_values):
+    oracle = ValueComparisonOracle(ValueSpace(small_values))
+    assert oracle.compare(4, 3) is True
+
+
+def test_reversed_query_is_consistent_under_probabilistic_noise(small_values):
+    oracle = ValueComparisonOracle(
+        small_values, noise=ProbabilisticNoise(p=0.45, seed=3)
+    )
+    for i in range(len(small_values)):
+        for j in range(len(small_values)):
+            if i == j:
+                continue
+            assert oracle.compare(i, j) == (not oracle.compare(j, i))
+
+
+def test_persistent_noise_gives_stable_answers(small_values):
+    oracle = ValueComparisonOracle(
+        small_values, noise=ProbabilisticNoise(p=0.45, seed=7)
+    )
+    first = oracle.compare(0, 1)
+    assert all(oracle.compare(0, 1) == first for _ in range(20))
+
+
+def test_cache_marks_repeats_as_cached(small_values):
+    counter = QueryCounter()
+    oracle = ValueComparisonOracle(small_values, counter=counter)
+    oracle.compare(0, 1)
+    oracle.compare(0, 1)
+    oracle.compare(1, 0)
+    assert counter.total_queries == 3
+    assert counter.cached_queries == 2
+    assert counter.charged_queries == 1
+
+
+def test_cache_disabled_charges_every_query(small_values):
+    counter = QueryCounter()
+    oracle = ValueComparisonOracle(small_values, counter=counter, cache_answers=False)
+    oracle.compare(0, 1)
+    oracle.compare(0, 1)
+    assert counter.charged_queries == 2
+
+
+def test_adversarial_noise_respected(small_values):
+    # Values 58 and 61 are within a factor 1.5 so the lying oracle inverts them.
+    oracle = ValueComparisonOracle(small_values, noise=AdversarialNoise(mu=0.5))
+    assert oracle.compare(7, 9) is False  # 58 <= 61 is true but adversary lies
+    assert oracle.compare(4, 3) is True  # 1 vs 100: far apart, must be correct
+
+
+def test_true_compare_ignores_noise(small_values):
+    oracle = ValueComparisonOracle(small_values, noise=AdversarialNoise(mu=10.0))
+    assert oracle.true_compare(7, 9) is True
+
+
+def test_out_of_range_index_rejected(small_values):
+    oracle = ValueComparisonOracle(small_values)
+    with pytest.raises(InvalidParameterError):
+        oracle.compare(0, 99)
+
+
+def test_empty_values_rejected():
+    with pytest.raises(EmptyInputError):
+        ValueComparisonOracle([])
+
+
+def test_tag_recorded(small_values):
+    counter = QueryCounter()
+    oracle = ValueComparisonOracle(small_values, counter=counter, tag="unit")
+    oracle.compare(0, 1)
+    assert counter.by_tag == {"unit": 1}

@@ -1,0 +1,129 @@
+"""Tests for the simulated crowd oracle and its accuracy profile."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.oracles import BucketAccuracyProfile, CrowdQuadrupletOracle, QueryCounter
+
+
+class TestBucketAccuracyProfile:
+    def test_diagonal_is_base_accuracy(self):
+        profile = BucketAccuracyProfile(n_buckets=10, max_distance=1.0)
+        assert profile.accuracy(0.35, 0.38) == pytest.approx(profile.base_accuracy)
+
+    def test_far_apart_buckets_reach_top_accuracy(self):
+        profile = BucketAccuracyProfile(n_buckets=10, max_distance=1.0, saturation_gap=3)
+        assert profile.accuracy(0.05, 0.95) == pytest.approx(profile.top_accuracy)
+
+    def test_accuracy_monotone_in_gap(self):
+        profile = BucketAccuracyProfile(n_buckets=10, max_distance=1.0)
+        accs = [profile.accuracy(0.05, 0.05 + gap * 0.1) for gap in range(6)]
+        assert all(b >= a for a, b in zip(accs, accs[1:]))
+
+    def test_bucket_of_clamps_to_last(self):
+        profile = BucketAccuracyProfile(n_buckets=4, max_distance=1.0)
+        assert profile.bucket_of(999.0) == 3
+        assert profile.bucket_of(0.0) == 0
+
+    def test_negative_distance_rejected(self):
+        profile = BucketAccuracyProfile()
+        with pytest.raises(InvalidParameterError):
+            profile.bucket_of(-0.1)
+
+    def test_accuracy_matrix_shape_and_symmetry(self):
+        profile = BucketAccuracyProfile(n_buckets=6, max_distance=2.0)
+        matrix = profile.accuracy_matrix()
+        assert matrix.shape == (6, 6)
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == profile.base_accuracy)
+
+    def test_factory_profiles(self):
+        adv = BucketAccuracyProfile.adversarial_like(max_distance=10.0)
+        prob = BucketAccuracyProfile.probabilistic_like(max_distance=10.0)
+        # Adversarial-like: accuracy reaches (almost) 1 for well separated buckets.
+        assert adv.accuracy(0.5, 9.5) == pytest.approx(1.0)
+        # Probabilistic-like: stays noticeably below 1 everywhere.
+        assert prob.accuracy(0.5, 9.5) < 0.9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            BucketAccuracyProfile(n_buckets=0)
+        with pytest.raises(InvalidParameterError):
+            BucketAccuracyProfile(max_distance=0.0)
+        with pytest.raises(InvalidParameterError):
+            BucketAccuracyProfile(base_accuracy=1.5)
+        with pytest.raises(InvalidParameterError):
+            BucketAccuracyProfile(saturation_gap=0)
+
+
+class TestCrowdQuadrupletOracle:
+    def _oracle(self, space, **kwargs):
+        profile = BucketAccuracyProfile(n_buckets=10, max_distance=15.0)
+        return CrowdQuadrupletOracle(space, profile, **kwargs)
+
+    def test_answers_persistent_and_consistent(self, small_points):
+        oracle = self._oracle(small_points, seed=0, counter=QueryCounter())
+        first = oracle.compare(0, 1, 5, 6)
+        assert all(oracle.compare(0, 1, 5, 6) == first for _ in range(5))
+        assert oracle.compare(5, 6, 0, 1) == (not first)
+
+    def test_easy_queries_almost_always_correct(self, small_points):
+        # Within-blob distance vs cross-blob distance: many buckets apart.
+        oracle = self._oracle(small_points, seed=1, n_workers=3)
+        correct = 0
+        trials = 0
+        for i in range(4):
+            for j in range(5, 9):
+                answer = oracle.compare(0, i + 1, 0, j)
+                truth = small_points.distance(0, i + 1) <= small_points.distance(0, j)
+                correct += int(answer == truth)
+                trials += 1
+        assert correct / trials > 0.9
+
+    def test_majority_vote_improves_over_single_worker(self, small_points):
+        profile = BucketAccuracyProfile(
+            n_buckets=10, max_distance=15.0, base_accuracy=0.7, top_accuracy=0.7
+        )
+        rng = np.random.default_rng(5)
+        pairs = [(int(a), int(b)) for a, b in rng.integers(0, 15, size=(300, 2)) if a != b]
+
+        def accuracy(n_workers):
+            oracle = CrowdQuadrupletOracle(
+                small_points, profile, n_workers=n_workers, seed=42
+            )
+            good = 0
+            for (a, b), (c, d) in zip(pairs[::2], pairs[1::2]):
+                if {a, b} == {c, d}:
+                    continue
+                ans = oracle.compare(a, b, c, d)
+                truth = small_points.distance(a, b) <= small_points.distance(c, d)
+                good += int(ans == truth)
+            return good / (len(pairs) // 2)
+
+        assert accuracy(5) >= accuracy(1) - 0.02
+
+    def test_even_worker_count_rejected(self, small_points):
+        profile = BucketAccuracyProfile()
+        with pytest.raises(InvalidParameterError):
+            CrowdQuadrupletOracle(small_points, profile, n_workers=2)
+
+    def test_cached_queries_not_recharged(self, small_points):
+        counter = QueryCounter()
+        oracle = self._oracle(small_points, seed=0, counter=counter)
+        oracle.compare(0, 1, 2, 3)
+        oracle.compare(0, 1, 2, 3)
+        assert counter.charged_queries == 1
+        assert counter.cached_queries == 1
+
+    def test_empirical_accuracy_helper(self, small_points):
+        oracle = self._oracle(small_points, seed=3)
+        left = [(0, 1), (0, 2), (1, 2)]
+        right = [(0, 6), (5, 11), (3, 14)]
+        acc = oracle.empirical_accuracy(left, right)
+        assert 0.0 <= acc <= 1.0
+
+    def test_empirical_accuracy_length_mismatch(self, small_points):
+        oracle = self._oracle(small_points, seed=3)
+        with pytest.raises(InvalidParameterError):
+            oracle.empirical_accuracy([(0, 1)], [])

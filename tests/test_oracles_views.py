@@ -1,0 +1,94 @@
+"""Tests for the oracle adapters in repro.oracles.base."""
+
+import pytest
+
+from repro.oracles import (
+    MinimizingComparisonOracle,
+    QueryCounter,
+    ValueComparisonOracle,
+    distance_comparison_view,
+)
+from repro.oracles.base import (
+    AssignmentDistanceOracle,
+    DistanceFromQueryOracle,
+    FunctionComparisonOracle,
+)
+
+
+def test_minimizing_oracle_reverses_direction(small_values):
+    oracle = ValueComparisonOracle(small_values)
+    reversed_oracle = MinimizingComparisonOracle(oracle)
+    assert oracle.compare(0, 3) is True
+    assert reversed_oracle.compare(0, 3) is False
+    assert reversed_oracle.counter is oracle.counter
+
+
+def test_function_oracle_wraps_callable():
+    calls = []
+
+    def fn(i, j):
+        calls.append((i, j))
+        return i < j
+
+    view = FunctionComparisonOracle(fn)
+    assert view.compare(1, 2) is True
+    assert view.compare(3, 2) is False
+    assert calls == [(1, 2), (3, 2)]
+
+
+def test_function_oracle_optionally_charges_counter():
+    counter = QueryCounter()
+    charged = FunctionComparisonOracle(lambda i, j: True, counter=counter, charge=True, tag="t")
+    uncharged = FunctionComparisonOracle(lambda i, j: True, counter=counter)
+    charged.compare(0, 1)
+    uncharged.compare(0, 1)
+    assert counter.total_queries == 1
+    assert counter.by_tag == {"t": 1}
+
+
+def test_distance_from_query_oracle_orders_by_distance(exact_quadruplet_oracle, small_points):
+    view = DistanceFromQueryOracle(exact_quadruplet_oracle, query=0)
+    # Point 1 is in the same blob as 0, point 5 is in a different blob.
+    assert view.compare(1, 5) is True
+    assert view.compare(5, 1) is False
+    assert view.counter is exact_quadruplet_oracle.counter
+
+
+def test_distance_comparison_view_minimize_flag(exact_quadruplet_oracle):
+    farthest_view = distance_comparison_view(exact_quadruplet_oracle, query=0)
+    nearest_view = distance_comparison_view(exact_quadruplet_oracle, query=0, minimize=True)
+    assert farthest_view.compare(1, 5) != nearest_view.compare(1, 5)
+
+
+def test_assignment_distance_oracle_compares_to_own_center(
+    exact_quadruplet_oracle, small_points
+):
+    # Points 0-4 are near center 0; points 5-9 near center 5.
+    assignment = {i: 0 for i in range(5)}
+    assignment.update({i: 5 for i in range(5, 10)})
+    view = AssignmentDistanceOracle(exact_quadruplet_oracle, assignment)
+    # Point 10 assigned to center 0 lives in the third blob: it is much
+    # farther from its center than point 1 is from its own center.
+    assignment[10] = 0
+    assert view.compare(1, 10) is True
+    assert view.compare(10, 1) is False
+
+
+def test_assignment_distance_oracle_accepts_sequences(exact_quadruplet_oracle):
+    assignment = [0] * 15
+    view = AssignmentDistanceOracle(exact_quadruplet_oracle, assignment)
+    assert view.compare(1, 5) in (True, False)
+
+
+def test_base_classes_require_implementation():
+    from repro.oracles.base import BaseComparisonOracle, BaseQuadrupletOracle
+
+    with pytest.raises(NotImplementedError):
+        BaseComparisonOracle().compare(0, 1)
+    with pytest.raises(NotImplementedError):
+        BaseQuadrupletOracle().compare(0, 1, 2, 3)
+
+
+def test_is_smaller_alias(small_values):
+    oracle = ValueComparisonOracle(small_values)
+    assert oracle.is_smaller(0, 3) == oracle.compare(0, 3)

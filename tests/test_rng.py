@@ -1,0 +1,97 @@
+"""Tests for the RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_module
+from repro.rng import (
+    default_rng,
+    derive_seed,
+    ensure_rng,
+    permutation,
+    sample_with_replacement,
+    sample_without_replacement,
+    set_default_seed,
+    spawn_rng,
+)
+
+
+def test_ensure_rng_from_int_is_deterministic():
+    a = ensure_rng(42).integers(0, 1000, size=5)
+    b = ensure_rng(42).integers(0, 1000, size=5)
+    assert np.array_equal(a, b)
+
+
+def test_ensure_rng_passes_through_generator():
+    gen = np.random.default_rng(0)
+    assert ensure_rng(gen) is gen
+
+
+def test_ensure_rng_accepts_seed_sequence():
+    seq = np.random.SeedSequence(7)
+    gen = ensure_rng(seq)
+    assert isinstance(gen, np.random.Generator)
+
+
+def test_ensure_rng_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_spawn_rng_children_are_independent_and_deterministic():
+    parent = ensure_rng(1)
+    children = spawn_rng(parent, 3)
+    assert len(children) == 3
+    draws = [c.random() for c in children]
+    assert len(set(draws)) == 3
+
+    parent2 = ensure_rng(1)
+    children2 = spawn_rng(parent2, 3)
+    draws2 = [c.random() for c in children2]
+    assert draws == draws2
+
+
+def test_spawn_rng_rejects_negative():
+    with pytest.raises(ValueError):
+        spawn_rng(ensure_rng(0), -1)
+
+
+def test_permutation_is_a_permutation():
+    perm = permutation(ensure_rng(0), 20)
+    assert sorted(perm.tolist()) == list(range(20))
+
+
+def test_sample_with_replacement_bounds():
+    samples = sample_with_replacement(ensure_rng(0), 10, 100)
+    assert len(samples) == 100
+    assert samples.min() >= 0 and samples.max() < 10
+
+
+def test_sample_with_replacement_rejects_empty_population():
+    with pytest.raises(ValueError):
+        sample_with_replacement(ensure_rng(0), 0, 5)
+
+
+def test_sample_without_replacement_distinct():
+    samples = sample_without_replacement(ensure_rng(0), 10, 10)
+    assert sorted(samples.tolist()) == list(range(10))
+
+
+def test_sample_without_replacement_rejects_oversize():
+    with pytest.raises(ValueError):
+        sample_without_replacement(ensure_rng(0), 5, 6)
+
+
+def test_derive_seed_in_range():
+    seed = derive_seed(ensure_rng(0))
+    assert 0 <= seed < 2**63
+
+
+def test_default_seed_roundtrip():
+    try:
+        set_default_seed(99)
+        a = default_rng().integers(0, 1000)
+        b = default_rng().integers(0, 1000)
+        assert a == b
+    finally:
+        set_default_seed(None)
+    assert rng_module._DEFAULT_SEED is None
