@@ -1,0 +1,14 @@
+# Convenience entrypoints mirroring .github/workflows/ci.yml.
+.PHONY: ci test lint bench
+
+ci:
+	scripts/ci.sh all
+
+test:
+	scripts/ci.sh tests
+
+lint:
+	scripts/ci.sh lint
+
+bench:
+	scripts/ci.sh bench

@@ -6,7 +6,6 @@ tournament degree, the probabilistic core size and the FCount decision
 threshold, and check the qualitative effect each knob is supposed to have.
 """
 
-import math
 
 import numpy as np
 

@@ -20,7 +20,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.baselines import hierarchical_samp, hierarchical_tour2
 from repro.datasets import make_taxonomy_space

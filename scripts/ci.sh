@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml: same steps, same commands, so a
+# green `make ci` (or `scripts/ci.sh`) means a green pipeline.
+#
+# Usage: scripts/ci.sh [tests|lint|bench|all]   (default: all)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step=${1:-all}
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+run_tests() {
+    echo "== tests: PYTHONPATH=src python -m pytest -x -q --ignore=benchmarks =="
+    python -m pytest -x -q --ignore=benchmarks
+}
+
+run_lint() {
+    echo "== lint: ruff check . =="
+    if command -v ruff >/dev/null 2>&1; then
+        ruff check .
+    elif python -m ruff --version >/dev/null 2>&1; then
+        python -m ruff check .
+    else
+        echo "ruff is not installed; skipping lint (CI will still run it)." >&2
+    fi
+}
+
+run_bench() {
+    echo "== bench smoke: pytest benchmarks -q -k 'smoke or batch' =="
+    python -m pytest benchmarks -q -s -k "smoke or batch" --benchmark-disable
+}
+
+case "$step" in
+    tests) run_tests ;;
+    lint) run_lint ;;
+    bench) run_bench ;;
+    all)
+        run_tests
+        run_lint
+        run_bench
+        ;;
+    *)
+        echo "unknown step: $step (expected tests|lint|bench|all)" >&2
+        exit 2
+        ;;
+esac
+echo "ci: $step OK"

@@ -11,7 +11,7 @@ under probabilistic noise, Samp is consistently worse.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.baselines import kcenter_samp, kcenter_tour2
 from repro.datasets.registry import load_dataset

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-import numpy as np
 
 from repro.baselines import hierarchical_samp, hierarchical_tour2
 from repro.datasets.registry import load_dataset

@@ -9,9 +9,8 @@ because its recall collapses.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
-import numpy as np
 
 from repro.baselines import kcenter_samp, kcenter_tour2, oq_clustering
 from repro.datasets.registry import DEFAULT_SIZES

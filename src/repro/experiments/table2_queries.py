@@ -151,6 +151,7 @@ def run(
                     "method": method,
                     "time_seconds": elapsed,
                     "n_comparisons": oracle.counter.total_queries,
+                    "counter_summary": oracle.counter.summary(),
                     "status": "ok",
                 }
             )

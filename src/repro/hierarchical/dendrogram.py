@@ -9,7 +9,7 @@ cutting the tree into a flat clustering with a requested number of clusters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

@@ -5,6 +5,11 @@ the point farthest from its current centers and reassigns points to the
 closest center.  With exact distances it is a 2-approximation of the optimal
 k-center objective, which is the best possible unless P = NP; the paper
 normalises every noisy algorithm's objective against this baseline.
+
+Each greedy round evaluates all candidate distances as one batched
+:meth:`~repro.metric.space.MetricSpace.distances_from` call (vectorised for
+the built-in distance functions), so the loop below runs k rounds of array
+arithmetic rather than ``n * k`` scalar distance evaluations.
 """
 
 from __future__ import annotations

@@ -76,10 +76,9 @@ def kcenter_objective(space: MetricSpace, result: ClusteringResult) -> float:
     """Maximum true distance of any point from its assigned center (lower is better)."""
     if not result.assignment:
         raise InvalidParameterError("clustering result has an empty assignment")
-    worst = 0.0
-    for point, center in result.assignment.items():
-        worst = max(worst, space.distance(point, center))
-    return worst
+    points = np.fromiter(result.assignment.keys(), dtype=np.int64)
+    centers = np.fromiter(result.assignment.values(), dtype=np.int64)
+    return float(space.pair_distances(points, centers).max())
 
 
 def kcenter_objective_for_centers(
@@ -90,13 +89,18 @@ def kcenter_objective_for_centers(
     Useful to score a set of centers independently of how a noisy algorithm
     assigned the points.
     """
-    centers = [int(c) for c in centers]
-    if not centers:
+    centers = np.asarray([int(c) for c in centers], dtype=np.int64)
+    if len(centers) == 0:
         raise InvalidParameterError("need at least one center")
     if points is None:
-        points = range(len(space))
-    worst = 0.0
-    for point in points:
-        nearest = min(space.distance(int(point), c) for c in centers)
-        worst = max(worst, nearest)
-    return worst
+        points = np.arange(len(space), dtype=np.int64)
+    else:
+        points = np.asarray([int(p) for p in points], dtype=np.int64)
+    if len(points) == 0:
+        return 0.0
+    # One batched distance evaluation per center (k is small), keeping the
+    # working set at O(n) instead of materialising the n x k grid.
+    best = space.distances_from(int(centers[0]), points)
+    for c in centers[1:]:
+        np.minimum(best, space.distances_from(int(c), points), out=best)
+    return float(best.max())

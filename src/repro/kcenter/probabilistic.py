@@ -35,6 +35,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Set
 
+import numpy as np
+
 from repro.exceptions import EmptyInputError, InvalidParameterError
 from repro.kcenter.objective import ClusteringResult
 from repro.maximum.adversarial import max_adversarial
@@ -81,14 +83,22 @@ def identify_core(
         raise InvalidParameterError("prune_fraction must be in [0, 1)")
     others = [u for u in members if u != center]
     scores: Dict[int, int] = {}
-    for u in others:
-        count = 0
-        for x in others:
-            if x == u:
-                continue
-            if not oracle.compare(center, x, center, u):
-                count += 1
-        scores[u] = count
+    if others:
+        # All ordered (u, x) pairs, x != u, scored in one batched round.
+        arr = np.asarray(others, dtype=np.int64)
+        m = len(arr)
+        u_pos = np.repeat(np.arange(m), m)
+        x_pos = np.tile(np.arange(m), m)
+        # Filter self-pairs by value, like the scalar loop did, so duplicated
+        # member ids don't issue queries the scalar path would have skipped.
+        keep = arr[u_pos] != arr[x_pos]
+        u_pos, x_pos = u_pos[keep], x_pos[keep]
+        c = np.full(len(u_pos), center, dtype=np.int64)
+        # "x is NOT closer to the center than u" scores a point for u.
+        answers = oracle.compare_batch(c, arr[x_pos], c, arr[u_pos])
+        pos_scores = np.zeros(m, dtype=np.int64)
+        np.add.at(pos_scores, u_pos[~answers], 1)
+        scores = {int(arr[pos]): int(pos_scores[pos]) for pos in range(m)}
     cutoff = prune_fraction * max(0, len(others) - 1)
     ranked = sorted(others, key=lambda u: -scores[u])
     kept = [u for u in ranked if scores[u] >= cutoff or len(others) <= 1]
@@ -105,15 +115,17 @@ def acount(
     """ACount (Algorithm 8): #core members judged farther from *point* than *new_center*."""
     point = int(point)
     new_center = int(new_center)
-    count = 0
-    for x in current_core:
-        x = int(x)
-        if x == point:
-            continue
-        # Yes means d(point, new_center) <= d(point, x).
-        if oracle.compare(point, new_center, point, x):
-            count += 1
-    return count
+    xs = np.asarray([int(x) for x in current_core if int(x) != point], dtype=np.int64)
+    if len(xs) == 0:
+        return 0
+    # Yes means d(point, new_center) <= d(point, x); one batched round.
+    answers = oracle.compare_batch(
+        np.full(len(xs), point, dtype=np.int64),
+        np.full(len(xs), new_center, dtype=np.int64),
+        np.full(len(xs), point, dtype=np.int64),
+        xs,
+    )
+    return int(np.count_nonzero(answers))
 
 
 def core_duel(
@@ -142,11 +154,10 @@ def core_duel(
         a = left[0] if left else int(core_a[0])
         b = right[0] if right else int(core_b[0])
         return oracle.compare(point, a, point, b)
-    votes = 0
-    for x in left:
-        for y in right:
-            if oracle.compare(point, x, point, y):
-                votes += 1
+    xs = np.repeat(np.asarray(left, dtype=np.int64), len(right))
+    ys = np.tile(np.asarray(right, dtype=np.int64), len(left))
+    p = np.full(len(xs), point, dtype=np.int64)
+    votes = int(np.count_nonzero(oracle.compare_batch(p, xs, p, ys)))
     return votes >= threshold_fraction * len(left) * len(right)
 
 
@@ -172,21 +183,35 @@ def cluster_comp(
         anchors = [x for x in cores[s_i] if x not in (v_i, v_j)]
         if not anchors:
             return oracle.compare(v_i, s_i, v_j, s_j)
-        count = 0
-        for x in anchors:
-            if oracle.compare(v_i, x, v_j, x):
-                count += 1
+        xs = np.asarray(anchors, dtype=np.int64)
+        count = int(
+            np.count_nonzero(
+                oracle.compare_batch(
+                    np.full(len(xs), v_i, dtype=np.int64),
+                    xs,
+                    np.full(len(xs), v_j, dtype=np.int64),
+                    xs,
+                )
+            )
+        )
         comparisons = len(anchors)
     else:
         left = [x for x in subset_cores[s_i] if x != v_i]
         right = [y for y in subset_cores[s_j] if y != v_j]
         if not left or not right:
             return oracle.compare(v_i, s_i, v_j, s_j)
-        count = 0
-        for x in left:
-            for y in right:
-                if oracle.compare(v_i, x, v_j, y):
-                    count += 1
+        xs = np.repeat(np.asarray(left, dtype=np.int64), len(right))
+        ys = np.tile(np.asarray(right, dtype=np.int64), len(left))
+        count = int(
+            np.count_nonzero(
+                oracle.compare_batch(
+                    np.full(len(xs), v_i, dtype=np.int64),
+                    xs,
+                    np.full(len(xs), v_j, dtype=np.int64),
+                    ys,
+                )
+            )
+        )
         comparisons = len(left) * len(right)
     # Yes ("v_i is closer to its center") unless the count falls below threshold.
     return count >= threshold_fraction * comparisons

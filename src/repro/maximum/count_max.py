@@ -31,20 +31,33 @@ def count_scores(
     queries compared to the textbook description without changing any
     guarantee (the oracle's answer to the reversed query is the negation of
     the persisted answer in all noise models).
+
+    The whole all-pairs round is issued as a single
+    :meth:`~repro.oracles.base.BaseComparisonOracle.compare_batch` call in
+    row-major pair order, which is answer-for-answer identical to the former
+    scalar double loop but runs on the oracle's vectorised path.
     """
     items = [int(i) for i in items]
     if not items:
         raise EmptyInputError("count_scores needs at least one item")
+    arr = np.asarray(items, dtype=np.int64)
+    m = len(arr)
     scores = {i: 0 for i in items}
-    for a_pos, a in enumerate(items):
-        for b in items[a_pos + 1 :]:
-            if a == b:
-                continue
-            # Yes means value(a) <= value(b): b wins the comparison.
-            if oracle.compare(a, b):
-                scores[b] += 1
-            else:
-                scores[a] += 1
+    if m < 2:
+        return scores
+    a_pos, b_pos = np.triu_indices(m, k=1)
+    keep = arr[a_pos] != arr[b_pos]
+    a_pos, b_pos = a_pos[keep], b_pos[keep]
+    if len(a_pos) == 0:
+        return scores
+    # Yes means value(a) <= value(b): b wins the comparison.
+    answers = oracle.compare_batch(arr[a_pos], arr[b_pos])
+    pos_scores = np.zeros(m, dtype=np.int64)
+    np.add.at(pos_scores, b_pos[answers], 1)
+    np.add.at(pos_scores, a_pos[~answers], 1)
+    # Duplicate values in *items* share one dictionary slot, as before.
+    for pos, item in enumerate(items):
+        scores[item] += int(pos_scores[pos])
     return scores
 
 
@@ -79,6 +92,61 @@ def count_min(
 ) -> int:
     """Count-based minimum: Count counts Yes answers instead of No (Section 3.2)."""
     return count_max(items, MinimizingComparisonOracle(oracle), seed=seed)
+
+
+def count_max_groups(
+    groups: Sequence[Sequence[int]],
+    oracle: BaseComparisonOracle,
+    seed: SeedLike = None,
+) -> list:
+    """Run Count-Max independently over several groups with one batched round.
+
+    Returns the per-group winners in group order.  Equivalent to calling
+    :func:`count_max` on each group in sequence with the same *seed* stream
+    (identical answers, identical tie-break draws): all pairwise comparisons
+    are gathered group-by-group into a single ``compare_batch`` call, then
+    scores and tie-breaks are resolved per group.  This is the building block
+    of the tournament node rounds.
+    """
+    groups = [[int(i) for i in group] for group in groups]
+    if any(not group for group in groups):
+        raise EmptyInputError("count_max_groups needs non-empty groups")
+    rng = ensure_rng(seed)
+    pair_a: list = []
+    pair_b: list = []
+    bounds: list = []
+    for group in groups:
+        start = len(pair_a)
+        for a_pos, a in enumerate(group):
+            for b in group[a_pos + 1 :]:
+                if a == b:
+                    continue
+                pair_a.append(a)
+                pair_b.append(b)
+        bounds.append((start, len(pair_a)))
+    answers = (
+        oracle.compare_batch(np.asarray(pair_a), np.asarray(pair_b))
+        if pair_a
+        else np.zeros(0, dtype=bool)
+    )
+    winners: list = []
+    for group, (start, stop) in zip(groups, bounds):
+        if len(group) == 1:
+            winners.append(group[0])
+            continue
+        scores = {i: 0 for i in group}
+        for pos in range(start, stop):
+            if answers[pos]:
+                scores[pair_b[pos]] += 1
+            else:
+                scores[pair_a[pos]] += 1
+        best_score = max(scores.values())
+        tied = [i for i, s in scores.items() if s == best_score]
+        if len(tied) == 1:
+            winners.append(tied[0])
+        else:
+            winners.append(int(tied[int(rng.integers(0, len(tied)))]))
+    return winners
 
 
 def count_scores_array(

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.exceptions import EmptyInputError, InvalidParameterError
-from repro.maximum.count_max import count_max
+from repro.maximum.count_max import count_max_groups
 from repro.oracles.base import BaseComparisonOracle, MinimizingComparisonOracle
 from repro.rng import SeedLike, ensure_rng
 
@@ -50,14 +50,10 @@ def tournament_max(
     # Random permutation of the leaves (line 4 of Algorithm 2).
     current: List[int] = [items[i] for i in rng.permutation(len(items))]
     while len(current) > 1:
-        next_round: List[int] = []
-        for start in range(0, len(current), degree):
-            group = current[start : start + degree]
-            if len(group) == 1:
-                next_round.append(group[0])
-            else:
-                next_round.append(count_max(group, oracle, seed=rng))
-        current = next_round
+        # One batched Count-Max round over all nodes of this tree level: the
+        # whole level's comparisons go to the oracle as a single array call.
+        groups = [current[start : start + degree] for start in range(0, len(current), degree)]
+        current = count_max_groups(groups, oracle, seed=rng)
     return current[0]
 
 

@@ -24,7 +24,16 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import EmptyInputError, InvalidParameterError
-from repro.metric.distances import euclidean_distance
+from repro.metric.distances import DISTANCE_FUNCTIONS, euclidean_distance
+
+#: Distance callables known to broadcast row-wise over ``(m, d)`` inputs
+#: with bit-identical per-row results, enabling the vectorised
+#: ``pair_distances`` path.  ``cosine_distance`` is excluded: its 1-D branch
+#: uses ``np.dot`` (BLAS) while its batched branch uses ``np.sum``, whose
+#: float rounding can differ in the last ulp and flip near-tie comparisons.
+_BATCHABLE_DISTANCE_FNS = frozenset(
+    id(fn) for name, fn in DISTANCE_FUNCTIONS.items() if name != "cosine"
+)
 
 
 class MetricSpace:
@@ -55,6 +64,33 @@ class MetricSpace:
                 f"index {i} out of range for space with {len(self)} points"
             )
         return i
+
+    def _check_index_array(self, idx) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.ndim != 1:
+            idx = idx.reshape(-1)
+        if idx.size and (idx.min() < 0 or idx.max() >= len(self)):
+            bad = idx[(idx < 0) | (idx >= len(self))][0]
+            raise InvalidParameterError(
+                f"index {int(bad)} out of range for space with {len(self)} points"
+            )
+        return idx
+
+    def pair_distances(self, i, j) -> np.ndarray:
+        """True distances between paired records ``(i[k], j[k])`` as one array.
+
+        This is the batched counterpart of :meth:`distance` used by the
+        vectorised oracle layer; results are elementwise identical to calling
+        ``distance`` in a loop.  The base implementation is that loop;
+        subclasses override it with vectorised kernels.
+        """
+        i = self._check_index_array(i)
+        j = self._check_index_array(j)
+        return np.fromiter(
+            (self.distance(int(a), int(b)) for a, b in zip(i, j)),
+            dtype=float,
+            count=len(i),
+        )
 
     def distances_from(self, i: int, candidates: Optional[Sequence[int]] = None) -> np.ndarray:
         """True distances from record *i* to each record in *candidates* (default: all)."""
@@ -177,13 +213,28 @@ class PointCloudSpace(MetricSpace):
         if candidates is None:
             candidates = np.arange(len(self))
         else:
-            candidates = np.asarray(list(candidates), dtype=int)
+            candidates = self._check_index_array(list(candidates))
         # Vectorised path for the default Euclidean distance; falls back to the
         # generic per-pair loop for arbitrary callables.
         if self.distance_fn is euclidean_distance:
             diff = self.points[candidates] - self.points[i]
             return np.sqrt(np.sum(diff * diff, axis=1))
-        return np.array([self.distance(i, int(j)) for j in candidates], dtype=float)
+        return self.pair_distances(
+            np.full(len(candidates), i, dtype=np.int64), candidates
+        )
+
+    def pair_distances(self, i, j) -> np.ndarray:
+        i = self._check_index_array(i)
+        j = self._check_index_array(j)
+        if id(self.distance_fn) not in _BATCHABLE_DISTANCE_FNS:
+            return super().pair_distances(i, j)
+        out = np.asarray(
+            self.distance_fn(self.points[i], self.points[j]), dtype=float
+        )
+        # The scalar path short-circuits i == j to exactly 0.0 (which matters
+        # for non-metric callables like the cosine distance); mirror it.
+        out[i == j] = 0.0
+        return out
 
 
 class DistanceMatrixSpace(MetricSpace):
@@ -218,8 +269,13 @@ class DistanceMatrixSpace(MetricSpace):
         i = self._check_index(i)
         if candidates is None:
             return self.matrix[i].copy()
-        candidates = np.asarray(list(candidates), dtype=int)
+        candidates = self._check_index_array(list(candidates))
         return self.matrix[i, candidates]
+
+    def pair_distances(self, i, j) -> np.ndarray:
+        i = self._check_index_array(i)
+        j = self._check_index_array(j)
+        return self.matrix[i, j].astype(float, copy=False)
 
 
 class ValueSpace(MetricSpace):
@@ -250,6 +306,11 @@ class ValueSpace(MetricSpace):
         i = self._check_index(i)
         j = self._check_index(j)
         return float(abs(self.values[i] - self.values[j]))
+
+    def pair_distances(self, i, j) -> np.ndarray:
+        i = self._check_index_array(i)
+        j = self._check_index_array(j)
+        return np.abs(self.values[i] - self.values[j])
 
     def argmax(self) -> int:
         """Index of the true maximum value."""

@@ -11,6 +11,11 @@ the value ``d(q, v)``:
   over an anchor set of records close to ``q`` (Algorithm 16 / Theorem 3.10).
 * **Tour2 / Samp** — the two baselines used throughout the paper's
   evaluation (binary tournament; sqrt(n)-sample Count-Max).
+
+All routines execute on the batched oracle layer: the comparison views built
+here override ``compare_batch``, so every Count-Max all-pairs round and every
+tournament level issued by the reductions reaches the quadruplet oracle as a
+single NumPy index-array call instead of a Python loop of scalar queries.
 """
 
 from __future__ import annotations

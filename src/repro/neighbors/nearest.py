@@ -3,7 +3,9 @@
 Nearest-neighbour queries are minimum-finding over the same
 "distance-from-query" views used for the farthest neighbour; every routine
 here mirrors its counterpart in :mod:`repro.neighbors.farthest` with the
-comparison direction reversed.
+comparison direction reversed.  Like the farthest-neighbour routines, all
+comparisons run on the batched oracle layer (one ``compare_batch`` call per
+Count-Max / tournament round).
 """
 
 from __future__ import annotations

@@ -35,14 +35,38 @@ def fcount(
     anchors: Sequence[int],
 ) -> int:
     """Number of anchors ``x`` for which the oracle says ``d(x, v_i) <= d(x, v_j)``."""
-    anchors = [int(x) for x in anchors]
-    if not anchors:
+    anchors = np.asarray([int(x) for x in anchors], dtype=np.int64)
+    if len(anchors) == 0:
         raise EmptyInputError("fcount needs a non-empty anchor set")
-    count = 0
-    for x in anchors:
-        if oracle.compare(x, int(v_i), x, int(v_j)):
-            count += 1
-    return count
+    votes = oracle.compare_batch(
+        anchors,
+        np.full(len(anchors), int(v_i), dtype=np.int64),
+        anchors,
+        np.full(len(anchors), int(v_j), dtype=np.int64),
+    )
+    return int(np.count_nonzero(votes))
+
+
+def fcount_batch(
+    oracle: BaseQuadrupletOracle,
+    v_i,
+    v_j,
+    anchors: Sequence[int],
+) -> np.ndarray:
+    """``fcount`` for many ``(v_i[k], v_j[k])`` pairs with one batched call.
+
+    Queries are issued pair-major (all anchors for pair 0, then pair 1, ...),
+    matching a loop of scalar :func:`fcount` calls query-for-query.
+    """
+    anchors = np.asarray([int(x) for x in anchors], dtype=np.int64)
+    if len(anchors) == 0:
+        raise EmptyInputError("fcount needs a non-empty anchor set")
+    v_i = np.asarray(v_i, dtype=np.int64).reshape(-1)
+    v_j = np.asarray(v_j, dtype=np.int64).reshape(-1)
+    m, s = len(v_i), len(anchors)
+    xs = np.tile(anchors, m)
+    votes = oracle.compare_batch(xs, np.repeat(v_i, s), xs, np.repeat(v_j, s))
+    return votes.reshape(m, s).sum(axis=1)
 
 
 def pairwise_comp(
@@ -98,6 +122,10 @@ class PairwiseCompOracle(BaseComparisonOracle):
         anchors = [int(x) for x in anchors]
         if not anchors:
             raise EmptyInputError("PairwiseCompOracle needs a non-empty anchor set")
+        if not 0.0 < threshold_fraction < 1.0:
+            raise InvalidParameterError(
+                f"threshold_fraction must be in (0, 1), got {threshold_fraction}"
+            )
         self.quadruplet_oracle = quadruplet_oracle
         self.anchors = anchors
         self.threshold_fraction = threshold_fraction
@@ -121,6 +149,19 @@ class PairwiseCompOracle(BaseComparisonOracle):
             return not closer
         # Natural ordering by distance from the query: Yes iff i is closer.
         return closer
+
+    def compare_batch(self, i, j) -> np.ndarray:
+        """Batched robust comparisons: all anchor votes in one quadruplet call."""
+        i = np.asarray(i, dtype=np.int64).reshape(-1)
+        j = np.asarray(j, dtype=np.int64).reshape(-1)
+        out = np.ones(len(i), dtype=bool)
+        active = np.nonzero(i != j)[0]
+        if active.size == 0:
+            return out
+        counts = fcount_batch(self.quadruplet_oracle, i[active], j[active], self.anchors)
+        closer = counts >= self.threshold_fraction * len(self.anchors)
+        out[active] = ~closer if self.minimize else closer
+        return out
 
 
 def select_anchor_set(
@@ -172,14 +213,18 @@ def noisy_anchor_set(
         raise InvalidParameterError(f"anchor set size must be >= 1, got {size}")
     rng = ensure_rng(seed)
     query = int(query)
-    scores = {}
-    for u in candidates:
-        score = 0
-        for x in candidates:
-            if x == u:
-                continue
-            if oracle.compare(query, u, query, x):
-                score += 1
-        scores[u] = score
+    # All ordered pairs (u, x), x != u, as one batched round (row-major, the
+    # same order the scalar double loop issued them in).
+    cand = np.asarray(candidates, dtype=np.int64)
+    m = len(cand)
+    u_pos = np.repeat(np.arange(m), m)
+    x_pos = np.tile(np.arange(m), m)
+    keep = cand[u_pos] != cand[x_pos]
+    u_pos, x_pos = u_pos[keep], x_pos[keep]
+    q = np.full(len(u_pos), query, dtype=np.int64)
+    votes = oracle.compare_batch(q, cand[u_pos], q, cand[x_pos])
+    pos_scores = np.zeros(m, dtype=np.int64)
+    np.add.at(pos_scores, u_pos[votes], 1)
+    scores = {int(cand[pos]): int(pos_scores[pos]) for pos in range(m)}
     order = sorted(candidates, key=lambda u: (-scores[u], rng.random()))
     return order[: min(size, len(order))]

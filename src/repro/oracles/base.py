@@ -18,7 +18,60 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
 from repro.oracles.counting import QueryCounter
+
+
+def _as_index_arrays(*arrays) -> tuple:
+    """Broadcast the given index sequences to one common 1-D int64 shape."""
+    arrs = [np.asarray(a, dtype=np.int64) for a in arrays]
+    arrs = [a.reshape(-1) if a.ndim != 1 else a for a in np.broadcast_arrays(*arrs)]
+    return tuple(arrs)
+
+
+def check_index_arrays(n: int, *arrays, what: str = "record index") -> None:
+    """Raise :class:`InvalidParameterError` for any index outside ``[0, n)``."""
+    for arr in arrays:
+        if arr.size and (arr.min() < 0 or arr.max() >= n):
+            bad = arr[(arr < 0) | (arr >= n)][0]
+            raise InvalidParameterError(
+                f"{what} {int(bad)} out of range for oracle over {n} records"
+            )
+
+
+def cached_batch_answers(cache: dict, codes: np.ndarray, compute_fresh) -> tuple:
+    """Serve a batch of canonical query codes through a shared answer cache.
+
+    Returns ``(answers, n_cached)`` where ``answers`` is a boolean array
+    aligned with *codes* and ``n_cached`` counts cache hits (including
+    within-batch repeats).  ``compute_fresh(miss)`` receives the positions of
+    the **first occurrence** of each distinct uncached code, in batch order —
+    the order matters: persistent noise models draw one flip per new query,
+    and seeded runs only reproduce the scalar loop if fresh queries reach the
+    noise model in exactly the order the loop would issue them.  Fresh
+    answers are stored in *cache* under their integer codes.
+    """
+    m = len(codes)
+    code_list = codes.tolist()
+    if cache:
+        contained = np.fromiter(
+            map(cache.__contains__, code_list), dtype=bool, count=m
+        )
+        new_pos = np.nonzero(~contained)[0]
+    else:
+        new_pos = np.arange(m)
+    if new_pos.size:
+        first_idx = np.unique(codes[new_pos], return_index=True)[1]
+        miss = new_pos[np.sort(first_idx)]
+        fresh = compute_fresh(miss)
+        cache.update(zip(codes[miss].tolist(), fresh.tolist()))
+        n_cached = m - miss.size
+    else:
+        n_cached = m
+    answers = np.fromiter(map(cache.__getitem__, code_list), dtype=bool, count=m)
+    return answers, n_cached
 
 
 class BaseComparisonOracle:
@@ -30,6 +83,22 @@ class BaseComparisonOracle:
     def compare(self, i: int, j: int) -> bool:
         """Return Yes (True) when value(i) <= value(j), possibly with noise."""
         raise NotImplementedError
+
+    def compare_batch(self, i, j) -> np.ndarray:
+        """Answer ``compare(i[k], j[k])`` for every k, as one boolean array.
+
+        Elementwise equivalent to a loop of scalar :meth:`compare` calls in
+        array order — same answers, same cache/persistence effects, same
+        query accounting totals.  The base implementation *is* that loop;
+        concrete oracles and adapters override it with vectorised versions,
+        which is where the batch layer's speedup comes from.
+        """
+        i, j = _as_index_arrays(i, j)
+        return np.fromiter(
+            (self.compare(int(a), int(b)) for a, b in zip(i, j)),
+            dtype=bool,
+            count=len(i),
+        )
 
     def is_smaller(self, i: int, j: int) -> bool:
         """Alias of :meth:`compare` with a more readable name at call sites."""
@@ -44,6 +113,22 @@ class BaseQuadrupletOracle:
     def compare(self, a: int, b: int, c: int, d: int) -> bool:
         """Return Yes (True) when d(a, b) <= d(c, d), possibly with noise."""
         raise NotImplementedError
+
+    def compare_batch(self, a, b, c, d) -> np.ndarray:
+        """Answer ``compare(a[k], b[k], c[k], d[k])`` for every k at once.
+
+        Same contract as :meth:`BaseComparisonOracle.compare_batch`: loop
+        fallback here, vectorised overrides in concrete oracles.
+        """
+        a, b, c, d = _as_index_arrays(a, b, c, d)
+        return np.fromiter(
+            (
+                self.compare(int(w), int(x), int(y), int(z))
+                for w, x, y, z in zip(a, b, c, d)
+            ),
+            dtype=bool,
+            count=len(a),
+        )
 
 
 class MinimizingComparisonOracle(BaseComparisonOracle):
@@ -62,6 +147,9 @@ class MinimizingComparisonOracle(BaseComparisonOracle):
 
     def compare(self, i: int, j: int) -> bool:
         return not self.inner.compare(i, j)
+
+    def compare_batch(self, i, j) -> np.ndarray:
+        return np.logical_not(self.inner.compare_batch(i, j))
 
 
 class FunctionComparisonOracle(BaseComparisonOracle):
@@ -92,6 +180,18 @@ class FunctionComparisonOracle(BaseComparisonOracle):
             self.counter.record(tag=self._tag)
         return bool(self._fn(i, j))
 
+    def compare_batch(self, i, j) -> np.ndarray:
+        i, j = _as_index_arrays(i, j)
+        if self._charge:
+            self.counter.record_batch(len(i), tag=self._tag)
+        # The wrapped callable stays scalar (it typically aggregates its own
+        # batched sub-queries, e.g. ClusterComp); only the charging batches.
+        return np.fromiter(
+            (bool(self._fn(int(a), int(b))) for a, b in zip(i, j)),
+            dtype=bool,
+            count=len(i),
+        )
+
 
 class DistanceFromQueryOracle(BaseComparisonOracle):
     """Comparison view "which of i, j is farther from a fixed query point q?".
@@ -111,6 +211,11 @@ class DistanceFromQueryOracle(BaseComparisonOracle):
     def compare(self, i: int, j: int) -> bool:
         q = self.query
         return self.quadruplet_oracle.compare(q, i, q, j)
+
+    def compare_batch(self, i, j) -> np.ndarray:
+        i, j = _as_index_arrays(i, j)
+        q = np.full(len(i), self.query, dtype=np.int64)
+        return self.quadruplet_oracle.compare_batch(q, i, q, j)
 
 
 class AssignmentDistanceOracle(BaseComparisonOracle):
@@ -140,6 +245,21 @@ class AssignmentDistanceOracle(BaseComparisonOracle):
         si = self._center_of(i)
         sj = self._center_of(j)
         return self.quadruplet_oracle.compare(i, si, j, sj)
+
+    def compare_batch(self, i, j) -> np.ndarray:
+        i, j = _as_index_arrays(i, j)
+        if isinstance(self.assignment, dict):
+            si = np.fromiter(
+                (self.assignment[int(x)] for x in i), dtype=np.int64, count=len(i)
+            )
+            sj = np.fromiter(
+                (self.assignment[int(x)] for x in j), dtype=np.int64, count=len(j)
+            )
+        else:
+            centers = np.asarray(self.assignment, dtype=np.int64)
+            si = centers[i]
+            sj = centers[j]
+        return self.quadruplet_oracle.compare_batch(i, si, j, sj)
 
 
 def distance_comparison_view(

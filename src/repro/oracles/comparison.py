@@ -8,7 +8,11 @@ import numpy as np
 
 from repro.exceptions import EmptyInputError, InvalidParameterError
 from repro.metric.space import ValueSpace
-from repro.oracles.base import BaseComparisonOracle
+from repro.oracles.base import (
+    BaseComparisonOracle,
+    cached_batch_answers,
+    check_index_arrays,
+)
 from repro.oracles.counting import QueryCounter
 from repro.oracles.noise import ExactNoise, NoiseModel
 
@@ -74,10 +78,13 @@ class ValueComparisonOracle(BaseComparisonOracle):
         if i == j:
             return True
         # Canonical key: orient the query so (i, j) and the reversed (j, i)
-        # receive consistent persisted answers.
+        # receive consistent persisted answers.  The integer encoding matches
+        # the vectorised one in compare_batch, so both paths share one cache;
+        # codes are negative so they can never collide with the non-negative
+        # quadruplet codes when one noise model serves both oracle types.
         flipped = i > j
         lo, hi = (j, i) if flipped else (i, j)
-        key = ("cmp", lo, hi)
+        key = -(lo * len(self.space) + hi) - 1
         if self.cache_answers and key in self._answer_cache:
             self.counter.record(cached=True, tag=self.tag)
             answer = self._answer_cache[key]
@@ -87,6 +94,49 @@ class ValueComparisonOracle(BaseComparisonOracle):
                 self._answer_cache[key] = answer
             self.counter.record(tag=self.tag)
         return (not answer) if flipped else answer
+
+    def compare_batch(self, i, j) -> np.ndarray:
+        """Vectorised :meth:`compare` over index arrays.
+
+        Same equivalence contract as
+        :meth:`repro.oracles.quadruplet.DistanceQuadrupletOracle.compare_batch`.
+        """
+        i, j = np.broadcast_arrays(
+            *(np.asarray(x, dtype=np.int64).reshape(-1) for x in (i, j))
+        )
+        n = len(self.space)
+        check_index_arrays(n, i, j)
+        m = len(i)
+        out = np.ones(m, dtype=bool)
+        if m == 0:
+            return out
+        lo = np.minimum(i, j)
+        hi = np.maximum(i, j)
+        flipped = i > j
+        # Negative codes: see the scalar path's canonical-key comment.
+        codes = -(lo * n + hi) - 1
+        active = np.nonzero(lo != hi)[0]
+        if active.size == 0:
+            return out
+        lo_a, hi_a = lo[active], hi[active]
+        codes_a = codes[active]
+        values = self.space.values
+        if not self.cache_answers:
+            answers = self.noise.answer_batch(values[lo_a], values[hi_a], codes_a)
+            self.counter.record_batch(active.size, tag=self.tag)
+        else:
+
+            def fresh_answers(miss: np.ndarray) -> np.ndarray:
+                return self.noise.answer_batch(
+                    values[lo_a[miss]], values[hi_a[miss]], codes_a[miss]
+                )
+
+            answers, n_cached = cached_batch_answers(
+                self._answer_cache, codes_a, fresh_answers
+            )
+            self.counter.record_batch(len(codes_a), n_cached=n_cached, tag=self.tag)
+        out[active] = answers ^ flipped[active]
+        return out
 
     def true_compare(self, i: int, j: int) -> bool:
         """Noise-free ground-truth comparison (used only by tests and evaluation)."""

@@ -65,6 +65,47 @@ class QueryCounter:
                 counter=self,
             )
 
+    def record_batch(
+        self, n: int, n_cached: int = 0, tag: Optional[str] = None
+    ) -> None:
+        """Record *n* oracle queries issued as one batch.
+
+        Equivalent to ``n`` calls to :meth:`record`, of which *n_cached* were
+        served from a persistence cache, but with O(1) bookkeeping cost.  The
+        batch is accounted atomically: when the batch pushes the charged count
+        past the budget, all *n* queries are recorded before
+        :class:`~repro.exceptions.QueryBudgetExceededError` is raised,
+        whereas the scalar path stops at the first query over budget — after
+        an overrun the recorded totals may exceed the scalar path's by up to
+        the batch size.
+
+        Cached answers inside a batch are *not* silently dropped: they are
+        recorded in ``total_queries`` / ``cached_queries`` exactly like
+        scalar cache hits, so repeat-query statistics survive batching.
+        """
+        n = int(n)
+        n_cached = int(n_cached)
+        if n < 0:
+            raise InvalidParameterError(f"batch size must be non-negative, got {n}")
+        if not 0 <= n_cached <= n:
+            raise InvalidParameterError(
+                f"n_cached must be between 0 and {n}, got {n_cached}"
+            )
+        if n == 0:
+            return
+        self.total_queries += n
+        self.cached_queries += n_cached
+        charged = n if self.charge_cached else n - n_cached
+        self.charged_queries += charged
+        if tag is not None:
+            self.by_tag[tag] = self.by_tag.get(tag, 0) + n
+        if self.budget is not None and self.charged_queries > self.budget:
+            raise QueryBudgetExceededError(
+                f"query budget of {self.budget} exceeded "
+                f"({self.charged_queries} charged queries)",
+                counter=self,
+            )
+
     def reset(self) -> None:
         """Zero all counters (the budget is kept)."""
         self.total_queries = 0
@@ -80,6 +121,20 @@ class QueryCounter:
             "cached_queries": self.cached_queries,
             **{f"tag:{k}": v for k, v in sorted(self.by_tag.items())},
         }
+
+    def summary(self) -> str:
+        """One-line human-readable account, used by the experiment reports.
+
+        Example: ``"1523 queries (1400 charged, 123 cached) [assign=900, farthest=623]"``.
+        """
+        parts = (
+            f"{self.total_queries} queries "
+            f"({self.charged_queries} charged, {self.cached_queries} cached)"
+        )
+        if self.by_tag:
+            tags = ", ".join(f"{k}={v}" for k, v in sorted(self.by_tag.items()))
+            parts += f" [{tags}]"
+        return parts
 
     @property
     def remaining(self) -> Optional[int]:

@@ -20,7 +20,7 @@ consistent answers.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Optional
+from typing import Callable, Dict, Hashable, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +40,29 @@ class NoiseModel:
     def answer(self, left: float, right: float, key: Hashable) -> bool:
         raise NotImplementedError
 
+    def answer_batch(
+        self,
+        left: Sequence[float],
+        right: Sequence[float],
+        keys: Sequence[Hashable],
+    ) -> np.ndarray:
+        """Answer many comparisons at once, returning a boolean array.
+
+        The contract mirrors :meth:`answer` elementwise: calling
+        ``answer_batch(left, right, keys)`` must produce exactly the answers
+        (and, for persistent models, exactly the internal random draws, in
+        the same order) that a loop of scalar ``answer`` calls over the same
+        queries would produce.  The base implementation is that loop;
+        subclasses override it with vectorised versions.
+        """
+        left = np.asarray(left, dtype=float)
+        right = np.asarray(right, dtype=float)
+        return np.fromiter(
+            (self.answer(float(lo), float(hi), k) for lo, hi, k in zip(left, right, keys)),
+            dtype=bool,
+            count=len(left),
+        )
+
     def reset(self) -> None:
         """Forget any persisted answers (a fresh crowd, so to speak)."""
 
@@ -55,6 +78,9 @@ class ExactNoise(NoiseModel):
 
     def answer(self, left: float, right: float, key: Hashable) -> bool:
         return self._true_answer(left, right)
+
+    def answer_batch(self, left, right, keys) -> np.ndarray:
+        return np.asarray(left, dtype=float) <= np.asarray(right, dtype=float)
 
     def __repr__(self) -> str:
         return "ExactNoise()"
@@ -121,6 +147,27 @@ class AdversarialNoise(NoiseModel):
             self._persisted[key] = bool(self._rng.random() < 0.5)
         return self._persisted[key]
 
+    def answer_batch(self, left, right, keys) -> np.ndarray:
+        # Only the deterministic "lie" adversary vectorises; the "random" and
+        # callable adversaries keep per-query state / arbitrary code and fall
+        # back to the scalar loop, preserving draw order.
+        if self.adversary != "lie":
+            return super().answer_batch(left, right, keys)
+        left = np.asarray(left, dtype=float)
+        right = np.asarray(right, dtype=float)
+        lo = np.minimum(left, right)
+        hi = np.maximum(left, right)
+        if np.any(lo < 0):
+            raise InvalidParameterError("compared quantities must be non-negative")
+        in_band = np.zeros(len(lo), dtype=bool)
+        zero = lo == 0.0
+        in_band[zero] = (hi[zero] <= self.zero_band) | (hi[zero] == 0.0)
+        nz = ~zero
+        # Same expression as the scalar in_confusion_band, elementwise.
+        in_band[nz] = hi[nz] / lo[nz] <= 1.0 + self.mu
+        truth = left <= right
+        return np.where(in_band, ~truth, truth)
+
     def reset(self) -> None:
         self._persisted.clear()
 
@@ -156,24 +203,137 @@ class ProbabilisticNoise(NoiseModel):
         self.persistent = bool(persistent)
         self._rng = ensure_rng(seed)
         self._persisted: Dict[Hashable, bool] = {}
+        # Large batches persist their drawn answers in sorted parallel arrays
+        # instead of the dict: vectorised membership (searchsorted) and
+        # O(1)-per-answer storage keep them free of per-key Python dict
+        # traffic, while small batches (below _ARRAY_TIER_MIN new keys) go to
+        # the dict to avoid re-merging the array store per round.
+        self._batch_codes: Optional[np.ndarray] = None
+        self._batch_answers: Optional[np.ndarray] = None
+
+    #: Minimum number of new keys in one batch for the array-backed store.
+    _ARRAY_TIER_MIN = 4096
+
+    def _batch_lookup(self, key: int) -> Optional[bool]:
+        """Scalar lookup into the array-backed store (None when absent)."""
+        if self._batch_codes is None or not len(self._batch_codes):
+            return None
+        pos = int(np.searchsorted(self._batch_codes, key))
+        if pos < len(self._batch_codes) and int(self._batch_codes[pos]) == int(key):
+            return bool(self._batch_answers[pos])
+        return None
 
     def answer(self, left: float, right: float, key: Hashable) -> bool:
         truth = self._true_answer(left, right)
         if not self.persistent:
             flip = bool(self._rng.random() < self.p)
             return truth ^ flip
-        if key not in self._persisted:
-            flip = bool(self._rng.random() < self.p)
-            self._persisted[key] = truth ^ flip
+        if key in self._persisted:
+            return self._persisted[key]
+        if isinstance(key, (int, np.integer)):
+            stored = self._batch_lookup(int(key))
+            if stored is not None:
+                return stored
+        flip = bool(self._rng.random() < self.p)
+        self._persisted[key] = truth ^ flip
         return self._persisted[key]
+
+    def answer_batch(self, left, right, keys) -> np.ndarray:
+        left = np.asarray(left, dtype=float)
+        right = np.asarray(right, dtype=float)
+        truth = left <= right
+        m = len(truth)
+        if not self.persistent:
+            flips = self._rng.random(m) < self.p
+            return truth ^ flips
+        # Unseen keys draw their flip in first-occurrence order, consuming
+        # the generator stream exactly as the scalar loop would (one uniform
+        # per new key); repeats — earlier calls or within this batch — reuse
+        # the persisted answer.  Numeric key arrays (the oracle layer's
+        # canonical codes) take a fully vectorised dedup path.
+        persisted = self._persisted
+        keys_arr = np.asarray(keys) if not isinstance(keys, np.ndarray) else keys
+        if keys_arr.dtype.kind not in "iu":
+            # Non-integer keys (floats would be silently truncated by the
+            # int64 store; arbitrary hashables are not orderable) take an
+            # order-preserving scalar dedup instead.
+            keys = list(keys)
+            new_positions: list[int] = []
+            pending: set = set()
+            for pos, key in enumerate(keys):
+                if key not in persisted and key not in pending:
+                    pending.add(key)
+                    new_positions.append(pos)
+            if new_positions:
+                flips = self._rng.random(len(new_positions)) < self.p
+                for pos, flip in zip(new_positions, flips):
+                    persisted[keys[pos]] = bool(truth[pos]) ^ bool(flip)
+            return np.fromiter((persisted[k] for k in keys), dtype=bool, count=m)
+
+        keys_arr = keys_arr.astype(np.int64, copy=False)
+        answers = np.empty(m, dtype=bool)
+        known = np.zeros(m, dtype=bool)
+        if persisted:
+            key_list = keys_arr.tolist()
+            dict_hits = np.fromiter(
+                map(persisted.__contains__, key_list), dtype=bool, count=m
+            )
+            if dict_hits.any():
+                hit_pos = np.nonzero(dict_hits)[0]
+                answers[hit_pos] = np.fromiter(
+                    (persisted[key_list[p]] for p in hit_pos),
+                    dtype=bool,
+                    count=len(hit_pos),
+                )
+                known |= dict_hits
+        if self._batch_codes is not None and len(self._batch_codes):
+            unknown = np.nonzero(~known)[0]
+            idx = np.searchsorted(self._batch_codes, keys_arr[unknown])
+            idx_c = np.minimum(idx, len(self._batch_codes) - 1)
+            hits = self._batch_codes[idx_c] == keys_arr[unknown]
+            hit_pos = unknown[hits]
+            answers[hit_pos] = self._batch_answers[idx_c[hits]]
+            known[hit_pos] = True
+        new_pos = np.nonzero(~known)[0]
+        if new_pos.size:
+            # np.unique sorts by value; the draws themselves are made in
+            # first-occurrence order so the generator stream matches the
+            # scalar loop draw for draw.
+            uniq, first_idx, inverse = np.unique(
+                keys_arr[new_pos], return_index=True, return_inverse=True
+            )
+            order = np.argsort(first_idx, kind="stable")
+            flips = np.empty(len(uniq), dtype=bool)
+            flips[order] = self._rng.random(len(uniq)) < self.p
+            ans_uniq = truth[new_pos[first_idx]] ^ flips
+            answers[new_pos] = ans_uniq[inverse]
+            if len(uniq) < self._ARRAY_TIER_MIN:
+                # Small batches persist through the dict: a handful of C-level
+                # inserts beats re-merging the (possibly huge) array store on
+                # every one of thousands of small aggregation rounds.
+                persisted.update(zip(uniq.tolist(), ans_uniq.tolist()))
+            elif self._batch_codes is None or not len(self._batch_codes):
+                self._batch_codes = uniq
+                self._batch_answers = ans_uniq
+            else:
+                merged = np.concatenate([self._batch_codes, uniq])
+                merge_order = np.argsort(merged, kind="stable")
+                self._batch_codes = merged[merge_order]
+                self._batch_answers = np.concatenate([self._batch_answers, ans_uniq])[
+                    merge_order
+                ]
+        return answers
 
     def reset(self) -> None:
         self._persisted.clear()
+        self._batch_codes = None
+        self._batch_answers = None
 
     @property
     def n_persisted(self) -> int:
         """Number of distinct queries whose answers have been persisted."""
-        return len(self._persisted)
+        n_batch = 0 if self._batch_codes is None else len(self._batch_codes)
+        return len(self._persisted) + n_batch
 
     def __repr__(self) -> str:
         return f"ProbabilisticNoise(p={self.p}, persistent={self.persistent})"

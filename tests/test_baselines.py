@@ -18,7 +18,6 @@ from repro.oracles import (
     AdversarialNoise,
     DistanceQuadrupletOracle,
     ExactNoise,
-    ProbabilisticNoise,
     QueryCounter,
     SameClusterOracle,
 )

@@ -1,0 +1,78 @@
+"""Tests for batched query accounting (``record_batch``) and ``summary``."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError, QueryBudgetExceededError
+from repro.oracles.counting import QueryCounter
+
+
+def test_record_batch_matches_scalar_loop():
+    batched = QueryCounter()
+    scalar = QueryCounter()
+    batched.record_batch(10, n_cached=3, tag="assign")
+    for k in range(10):
+        scalar.record(cached=k < 3, tag="assign")
+    assert batched.snapshot() == scalar.snapshot()
+
+
+def test_record_batch_cached_answers_are_counted():
+    counter = QueryCounter()
+    counter.record_batch(5, n_cached=5)
+    # Cached repeats are recorded, not silently dropped.
+    assert counter.total_queries == 5
+    assert counter.cached_queries == 5
+    assert counter.charged_queries == 0
+
+
+def test_record_batch_charge_cached():
+    counter = QueryCounter(charge_cached=True)
+    counter.record_batch(4, n_cached=4)
+    assert counter.charged_queries == 4
+
+
+def test_record_batch_zero_is_noop():
+    counter = QueryCounter()
+    counter.record_batch(0)
+    assert counter.snapshot() == QueryCounter().snapshot()
+
+
+def test_record_batch_validates_arguments():
+    counter = QueryCounter()
+    with pytest.raises(InvalidParameterError):
+        counter.record_batch(-1)
+    with pytest.raises(InvalidParameterError):
+        counter.record_batch(2, n_cached=3)
+    with pytest.raises(InvalidParameterError):
+        counter.record_batch(2, n_cached=-1)
+
+
+def test_record_batch_budget_accounts_whole_batch_before_raising():
+    counter = QueryCounter(budget=5)
+    with pytest.raises(QueryBudgetExceededError):
+        counter.record_batch(8)
+    # The batch is recorded atomically before the error fires.
+    assert counter.charged_queries == 8
+    assert counter.total_queries == 8
+
+
+def test_record_batch_budget_ignores_cached_by_default():
+    counter = QueryCounter(budget=3)
+    counter.record_batch(5, n_cached=3)
+    assert counter.charged_queries == 2
+    assert counter.remaining == 1
+
+
+def test_summary_without_tags():
+    counter = QueryCounter()
+    counter.record()
+    counter.record(cached=True)
+    assert counter.summary() == "2 queries (1 charged, 1 cached)"
+
+
+def test_summary_with_tags_sorted():
+    counter = QueryCounter()
+    counter.record_batch(3, tag="farthest")
+    counter.record_batch(2, n_cached=1, tag="assign")
+    assert counter.summary() == (
+        "5 queries (4 charged, 1 cached) [assign=2, farthest=3]"
+    )

@@ -1,6 +1,5 @@
 """Tests for the dendrogram data structure."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ClusteringError, InvalidParameterError

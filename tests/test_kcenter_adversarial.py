@@ -1,6 +1,5 @@
 """Tests for k-center clustering under adversarial noise (Algorithm 6)."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import EmptyInputError, InvalidParameterError

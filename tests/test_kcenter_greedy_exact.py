@@ -5,7 +5,6 @@ import pytest
 
 from repro.exceptions import EmptyInputError, InvalidParameterError
 from repro.kcenter import greedy_kcenter_exact, kcenter_objective
-from repro.kcenter.objective import kcenter_objective_for_centers
 from repro.metric.space import PointCloudSpace
 
 

@@ -1,6 +1,5 @@
 """Tests for the k-center result container and objective evaluation."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ClusteringError, InvalidParameterError

@@ -1,8 +1,6 @@
 """Tests for k-center clustering under probabilistic noise (Algorithms 7-10)."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.exceptions import EmptyInputError, InvalidParameterError

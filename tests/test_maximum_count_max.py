@@ -5,7 +5,7 @@ import pytest
 
 from repro.exceptions import EmptyInputError
 from repro.maximum.count_max import count_max, count_min, count_scores, count_scores_array
-from repro.oracles import AdversarialNoise, ExactNoise, ValueComparisonOracle
+from repro.oracles import AdversarialNoise, ValueComparisonOracle
 
 
 def test_count_scores_with_exact_oracle(small_values, exact_value_oracle):

@@ -1,6 +1,5 @@
 """Tests for PairwiseComp (Algorithm 5) and anchor-set helpers."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import EmptyInputError, InvalidParameterError

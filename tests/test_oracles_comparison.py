@@ -1,13 +1,11 @@
 """Tests for the value comparison oracle."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import EmptyInputError, InvalidParameterError
 from repro.metric.space import ValueSpace
 from repro.oracles import (
     AdversarialNoise,
-    ExactNoise,
     ProbabilisticNoise,
     QueryCounter,
     ValueComparisonOracle,

@@ -1,6 +1,5 @@
 """Tests for the noise models."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import InvalidParameterError
