@@ -1,5 +1,5 @@
 # Convenience entrypoints mirroring .github/workflows/ci.yml.
-.PHONY: ci test lint bench
+.PHONY: ci test lint bench docs
 
 ci:
 	scripts/ci.sh all
@@ -12,3 +12,6 @@ lint:
 
 bench:
 	scripts/ci.sh bench
+
+docs:
+	scripts/ci.sh docs

@@ -2,7 +2,7 @@
 # Local mirror of .github/workflows/ci.yml: same steps, same commands, so a
 # green `make ci` (or `scripts/ci.sh`) means a green pipeline.
 #
-# Usage: scripts/ci.sh [tests|lint|bench|all]   (default: all)
+# Usage: scripts/ci.sh [tests|lint|bench|docs|all]   (default: all)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,17 +31,24 @@ run_bench() {
     python -m pytest benchmarks -q -s -k "smoke or batch" --benchmark-disable
 }
 
+run_docs() {
+    echo "== docs: python scripts/build_docs.py (autodoc + links; mkdocs if installed) =="
+    python scripts/build_docs.py
+}
+
 case "$step" in
     tests) run_tests ;;
     lint) run_lint ;;
     bench) run_bench ;;
+    docs) run_docs ;;
     all)
         run_tests
         run_lint
         run_bench
+        run_docs
         ;;
     *)
-        echo "unknown step: $step (expected tests|lint|bench|all)" >&2
+        echo "unknown step: $step (expected tests|lint|bench|docs|all)" >&2
         exit 2
         ;;
 esac

@@ -10,7 +10,10 @@ Oracle" (Addanki, Galhotra, Saha — PVLDB 14(9), 2021).  The library provides:
 * robust single / complete-linkage agglomerative hierarchical clustering,
 * the Tour2 / Samp / Oq baselines of the paper's evaluation,
 * synthetic stand-ins for the paper's datasets, evaluation metrics, and an
-  experiment harness regenerating every table and figure.
+  experiment harness regenerating every table and figure,
+* an experiment engine (:mod:`repro.engine`) that sweeps every experiment
+  over seed/parameter grids across worker processes with on-disk result
+  caching (``python -m repro.experiments sweep --quick --seeds 4 --jobs 4``).
 
 Quickstart
 ----------

@@ -1,0 +1,69 @@
+"""Experiment engine: declarative specs, sweep planning, parallel execution, caching.
+
+The engine turns the per-figure experiment modules into a uniform,
+scriptable subsystem:
+
+* :class:`~repro.engine.spec.ExperimentSpec` — declarative description of
+  one experiment (runner, paper reference, quick overrides, key columns),
+  held in a process-wide registry the modules populate at import time.
+* :func:`~repro.engine.planner.plan_sweep` — expand experiments x parameter
+  grid x seeds into a deterministic task list.
+* :func:`~repro.engine.runner.run_sweep` — execute tasks serially or across
+  a ``ProcessPoolExecutor``, with identical results either way.
+* :class:`~repro.engine.cache.ResultCache` — on-disk JSON cache keyed by a
+  stable hash of (experiment, params, seed, code version); re-runs and
+  interrupted sweeps resume for free.
+* :func:`~repro.engine.aggregate.aggregate_across_seeds` — mean/std metric
+  columns across seeds, grouped by each spec's key columns.
+
+Typical use::
+
+    from repro.engine import plan_sweep, run_sweep, ResultCache, aggregate_across_seeds
+
+    tasks = plan_sweep(["fig6_kcenter"], n_seeds=8, quick=True)
+    report = run_sweep(tasks, jobs=4, cache=ResultCache())
+    table = aggregate_across_seeds(report.results("fig6_kcenter"))
+    print(table.to_table())
+"""
+
+from repro.engine.aggregate import aggregate_across_seeds
+from repro.engine.cache import ResultCache, default_cache_dir
+from repro.engine.hashing import canonical_params, code_version, task_key
+from repro.engine.planner import (
+    SweepTask,
+    expand_grid,
+    parse_param_assignments,
+    plan_sweep,
+)
+from repro.engine.runner import SweepReport, TaskOutcome, run_sweep, run_task
+from repro.engine.spec import (
+    ExperimentSpec,
+    get_spec,
+    iter_specs,
+    load_builtin_specs,
+    register,
+    spec_names,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "ResultCache",
+    "SweepReport",
+    "SweepTask",
+    "TaskOutcome",
+    "aggregate_across_seeds",
+    "canonical_params",
+    "code_version",
+    "default_cache_dir",
+    "expand_grid",
+    "get_spec",
+    "iter_specs",
+    "load_builtin_specs",
+    "parse_param_assignments",
+    "plan_sweep",
+    "register",
+    "run_sweep",
+    "run_task",
+    "spec_names",
+    "task_key",
+]

@@ -1,0 +1,96 @@
+"""Cross-seed aggregation of experiment results.
+
+A sweep produces one :class:`ExperimentResult` per (params, seed) task; the
+paper's claims are about the *distribution* across seeds.  This module
+groups rows from many same-experiment results by the spec's key columns
+(dataset, method, k, noise level, ...) and reports mean/std columns for
+every numeric metric, yielding a single aggregated ``ExperimentResult``
+whose rows read like the paper's tables ("fscore_mean +/- fscore_std over
+n_seeds runs").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.spec import get_spec
+
+if TYPE_CHECKING:  # runtime import is lazy to avoid an import cycle
+    from repro.experiments.base import ExperimentResult
+
+
+def _is_metric_value(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def aggregate_across_seeds(
+    results: Sequence[ExperimentResult],
+    key_columns: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+) -> ExperimentResult:
+    """Merge per-seed results into one result with mean/std metric columns.
+
+    Parameters
+    ----------
+    results:
+        Results of the *same* experiment at different seeds (same params).
+    key_columns:
+        Columns identifying a logical data point.  Defaults to the
+        registered spec's ``key_columns`` for ``results[0].name``.
+    name:
+        Name for the aggregated result (default ``"<name>+agg"``).
+
+    Rows keep the key columns, then add ``<metric>_mean`` / ``<metric>_std``
+    (population std, 0.0 for a single seed) and ``n_seeds`` — the number of
+    contributing rows for that data point (rows whose metric is ``None`` are
+    skipped for that metric).  Non-numeric non-key columns are dropped.
+    """
+    if not results:
+        raise ValueError("aggregate_across_seeds needs at least one result")
+    base = results[0]
+    if key_columns is None:
+        key_columns = get_spec(base.name).key_columns
+    key_columns = list(key_columns)
+
+    groups: Dict[Tuple, Dict[str, List[float]]] = {}
+    order: List[Tuple] = []
+    metric_order: Dict[str, None] = {}
+    for result in results:
+        for row in result.rows:
+            key = tuple(row.get(c) for c in key_columns)
+            if key not in groups:
+                groups[key] = {}
+                order.append(key)
+            for column, value in row.items():
+                if column in key_columns:
+                    continue
+                if _is_metric_value(value):
+                    metric_order.setdefault(column, None)
+                    groups[key].setdefault(column, []).append(float(value))
+
+    rows: List[Dict[str, Any]] = []
+    for key in order:
+        row: Dict[str, Any] = dict(zip(key_columns, key))
+        counts = [len(v) for v in groups[key].values()]
+        row["n_seeds"] = max(counts) if counts else 0
+        for metric in metric_order:
+            values = groups[key].get(metric)
+            if not values:
+                continue
+            mean = sum(values) / len(values)
+            row[f"{metric}_mean"] = mean
+            row[f"{metric}_std"] = math.sqrt(
+                sum((v - mean) ** 2 for v in values) / len(values)
+            )
+        rows.append(row)
+
+    from repro.experiments.base import ExperimentResult
+
+    seeds = [r.params.get("seed") for r in results]
+    return ExperimentResult(
+        name=name or f"{base.name}+agg",
+        description=f"{base.description} (aggregated over {len(results)} run(s))",
+        rows=rows,
+        params={**base.params, "seed": None, "seeds": seeds, "n_results": len(results)},
+    )

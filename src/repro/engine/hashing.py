@@ -1,0 +1,78 @@
+"""Stable cache keys for experiment tasks.
+
+A task is cached under a SHA-256 digest of ``(experiment name, canonical
+params, seed, code version)``.  The code version hashes the source of the
+experiment's module plus the shared result container, so editing an
+experiment invalidates exactly that experiment's cache entries while
+leaving the others untouched.  Canonicalisation reuses
+:func:`repro.experiments.base.json_safe` so tuples/lists and NumPy scalars
+hash identically however the caller spelled them.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import inspect
+import json
+import sys
+from typing import Any, Mapping
+
+from repro.serialization import json_safe
+
+#: Bump to invalidate every cache entry (result payload layout changes).
+CACHE_SCHEMA_VERSION = 1
+
+#: Length of the hex digest prefix used as the cache key / filename.
+KEY_LENGTH = 32
+
+
+def canonical_params(params: Mapping[str, Any]) -> dict:
+    """JSON-safe, deterministically ordered copy of *params*."""
+    return {key: json_safe(params[key]) for key in sorted(params)}
+
+
+@functools.lru_cache(maxsize=None)
+def _source_of(module_name: str) -> str:
+    module = sys.modules.get(module_name)
+    if module is None:
+        __import__(module_name)
+        module = sys.modules[module_name]
+    try:
+        return inspect.getsource(module)
+    except (OSError, TypeError):  # frozen / source-less environments
+        return getattr(module, "__file__", module_name) or module_name
+
+
+def code_version(module_name: str) -> str:
+    """Digest of the experiment module's source plus the shared base module.
+
+    Source text is read once per module per process (``_source_of`` is
+    memoised); the schema version is read on every call so tests can bump it
+    to simulate a code change.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(CACHE_SCHEMA_VERSION).encode())
+    digest.update(_source_of(module_name).encode())
+    digest.update(_source_of("repro.experiments.base").encode())
+    return digest.hexdigest()[:KEY_LENGTH]
+
+
+def task_key(
+    experiment: str,
+    params: Mapping[str, Any],
+    seed: int,
+    version: str,
+) -> str:
+    """Stable key identifying one (experiment, params, seed, code) combination."""
+    blob = json.dumps(
+        {
+            "experiment": experiment,
+            "params": canonical_params(params),
+            "seed": int(seed),
+            "code_version": version,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:KEY_LENGTH]

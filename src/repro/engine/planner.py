@@ -1,0 +1,176 @@
+"""Sweep planning: expand experiment / parameter-grid / seed combinations.
+
+The planner turns a declarative request ("these experiments, this parameter
+grid, this many seeds") into a flat list of :class:`SweepTask` objects the
+runner executes.  Planning is deterministic: the same request always yields
+the same tasks in the same order with the same seeds (via
+:func:`repro.rng.derive_task_seeds`), which is what keeps cache keys stable
+across re-runs and interrupted sweeps.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.engine.hashing import code_version, task_key
+from repro.engine.spec import ExperimentSpec, get_spec, spec_names
+from repro.exceptions import InvalidParameterError
+from repro.rng import derive_task_seeds
+
+
+@dataclass
+class SweepTask:
+    """One unit of work: run *experiment* with *params* at *seed*."""
+
+    experiment: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    def kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments for the spec runner (params plus the seed)."""
+        return {**self.params, "seed": self.seed}
+
+    def key(self) -> str:
+        """Stable cache key for this task (includes the code version)."""
+        spec = get_spec(self.experiment)
+        return task_key(
+            self.experiment,
+            self.params,
+            self.seed,
+            code_version(spec.module),
+        )
+
+    def label(self) -> str:
+        return f"{self.experiment}[seed={self.seed}]"
+
+
+def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of a ``{param: [values, ...]}`` grid.
+
+    Keys are iterated in sorted order so the expansion order is stable.
+    An empty grid yields one empty combination.
+    """
+    keys = sorted(grid)
+    combos = itertools.product(*(list(grid[k]) for k in keys))
+    return [dict(zip(keys, combo)) for combo in combos]
+
+
+_OPEN_TO_CLOSE = {"(": ")", "[": "]", "{": "}"}
+
+
+def _split_top_level(raw: str) -> List[str]:
+    """Split on commas that are not nested inside brackets or quotes.
+
+    ``"100,200"`` -> two values; ``"(5,10)"`` -> one tuple value;
+    ``"(5,10),(5,20)"`` -> two tuple values.
+    """
+    tokens: List[str] = []
+    depth = 0
+    quote: str = ""
+    current: List[str] = []
+    for char in raw:
+        if quote:
+            current.append(char)
+            if char == quote:
+                quote = ""
+            continue
+        if char in "'\"":
+            quote = char
+        elif char in _OPEN_TO_CLOSE:
+            depth += 1
+        elif char in _OPEN_TO_CLOSE.values():
+            depth -= 1
+        elif char == "," and depth == 0:
+            tokens.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    tokens.append("".join(current))
+    return tokens
+
+
+def parse_param_assignments(assignments: Sequence[str]) -> Dict[str, List[Any]]:
+    """Parse CLI ``key=v1,v2,...`` assignments into a sweep grid.
+
+    Values are comma-separated at the top level only, so sequence-valued
+    parameters work: ``k_values=(5,10)`` is one tuple value while
+    ``n_points=100,200`` is a two-value grid.  Each value goes through
+    ``ast.literal_eval`` when possible (ints, floats, tuples, quoted
+    strings) and falls back to the raw string otherwise, so
+    ``--param dataset=cities`` works unquoted.
+    """
+    grid: Dict[str, List[Any]] = {}
+    for assignment in assignments:
+        key, sep, raw = assignment.partition("=")
+        key = key.strip()
+        if not sep or not key or not raw.strip():
+            raise InvalidParameterError(
+                f"bad --param {assignment!r}; expected key=value[,value...]"
+            )
+        values: List[Any] = []
+        for token in _split_top_level(raw):
+            token = token.strip()
+            try:
+                values.append(ast.literal_eval(token))
+            except (ValueError, SyntaxError):
+                values.append(token)
+        grid[key] = values
+    return grid
+
+
+def plan_sweep(
+    experiments: Optional[Sequence[str]] = None,
+    n_seeds: int = 1,
+    base_seed: int = 0,
+    seeds: Optional[Sequence[int]] = None,
+    grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    quick: bool = False,
+) -> List[SweepTask]:
+    """Expand a sweep request into an ordered task list.
+
+    Parameters
+    ----------
+    experiments:
+        Experiment names (default: every registered spec).
+    n_seeds, base_seed:
+        Number of task seeds to derive from *base_seed* via
+        :func:`repro.rng.derive_task_seeds` (ignored when *seeds* is given).
+    seeds:
+        Explicit seed list overriding the derived seeds.
+    grid:
+        ``{param: [values, ...]}`` sweep grid.  A grid key applies to every
+        selected experiment whose runner accepts it; a key accepted by none
+        of them is an error (it would silently sweep nothing).
+    quick:
+        Start each experiment from its spec's smoke-test overrides; grid
+        values win over quick values for the same key.
+    """
+    names = list(experiments) if experiments else spec_names()
+    specs: List[ExperimentSpec] = [get_spec(name) for name in names]
+    grid = dict(grid or {})
+    if grid:
+        orphaned = [k for k in grid if not any(s.accepts(k) for s in specs)]
+        if orphaned:
+            raise InvalidParameterError(
+                f"grid parameter(s) {', '.join(sorted(orphaned))} not accepted "
+                f"by any selected experiment ({', '.join(names)})"
+            )
+    task_seeds = [int(s) for s in seeds] if seeds is not None else derive_task_seeds(
+        base_seed, n_seeds
+    )
+    if not task_seeds:
+        raise InvalidParameterError("a sweep needs at least one seed")
+
+    tasks: List[SweepTask] = []
+    for spec in specs:
+        base = dict(spec.quick) if quick else {}
+        local_grid = {k: v for k, v in grid.items() if spec.accepts(k)}
+        for combo in expand_grid(local_grid):
+            params = {**base, **combo}
+            spec.validate_params(params)
+            for seed in task_seeds:
+                tasks.append(SweepTask(spec.name, dict(params), seed))
+    return tasks

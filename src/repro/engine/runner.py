@@ -1,0 +1,227 @@
+"""Serial and multi-process execution of planned sweep tasks.
+
+The runner is the only component that touches both the cache and the spec
+runners.  Results always round-trip through the JSON payload form
+(:meth:`ExperimentResult.to_dict` / ``from_dict``) before being returned —
+whether they were computed serially, in a worker process, or read back from
+the cache — so the three paths are bit-for-bit interchangeable and the
+parallel-equals-serial property is easy to test.
+
+Workers receive only ``(experiment name, params, seed)`` and re-resolve the
+spec from the registry after import, so nothing unpicklable ever crosses the
+process boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.engine.cache import ResultCache
+from repro.engine.hashing import CACHE_SCHEMA_VERSION, canonical_params
+from repro.engine.planner import SweepTask
+from repro.engine.spec import get_spec, load_builtin_specs
+
+if TYPE_CHECKING:  # runtime import is lazy to avoid an import cycle
+    from repro.experiments.base import ExperimentResult
+
+#: Callback signature: (completed task, outcome, n_done, n_total).
+ProgressFn = Callable[["TaskOutcome", int, int], None]
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task: its result and where it came from."""
+
+    task: SweepTask
+    result: ExperimentResult
+    cached: bool
+    elapsed_seconds: float
+    key: str
+
+
+@dataclass
+class SweepReport:
+    """Aggregate record of one sweep invocation."""
+
+    outcomes: List[TaskOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def n_run(self) -> int:
+        return self.n_tasks - self.n_cached
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of tasks served from cache (0.0 when the sweep was empty)."""
+        return self.n_cached / self.n_tasks if self.outcomes else 0.0
+
+    def experiments(self) -> List[str]:
+        """Distinct experiment names in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for outcome in self.outcomes:
+            seen.setdefault(outcome.task.experiment, None)
+        return list(seen)
+
+    def results(self, experiment: Optional[str] = None) -> List[ExperimentResult]:
+        """Results, optionally restricted to one experiment, in task order."""
+        return [
+            o.result
+            for o in self.outcomes
+            if experiment is None or o.task.experiment == experiment
+        ]
+
+    def summary(self) -> str:
+        """One-line accounting suitable for CLI output."""
+        return (
+            f"{self.n_tasks} task(s) across {len(self.experiments())} experiment(s): "
+            f"{self.n_cached} cached / {self.n_run} run "
+            f"(hit rate {self.hit_rate:.0%}), {self.wall_seconds:.1f}s wall"
+        )
+
+
+def _experiment_result():
+    from repro.experiments.base import ExperimentResult
+
+    return ExperimentResult
+
+
+def execute_task(experiment: str, params: Dict[str, Any], seed: int) -> Tuple[dict, float]:
+    """Run one task in the current process; returns (result payload, seconds).
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it by reference;
+    also the serial path, so both paths share one code route.
+    """
+    load_builtin_specs()
+    spec = get_spec(experiment)
+    start = time.perf_counter()
+    result = spec.runner(seed=seed, **params)
+    return result.to_dict(), time.perf_counter() - start
+
+
+def _payload(task: SweepTask, key: str, result_dict: dict, elapsed: float) -> dict:
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "key": key,
+        "experiment": task.experiment,
+        "params": canonical_params(task.params),
+        "seed": int(task.seed),
+        "elapsed_seconds": elapsed,
+        "result": result_dict,
+    }
+
+
+def _outcome_from_payload(
+    task: SweepTask, key: str, payload: dict, cached: bool
+) -> TaskOutcome:
+    return TaskOutcome(
+        task=task,
+        result=_experiment_result().from_dict(payload["result"]),
+        cached=cached,
+        elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        key=key,
+    )
+
+
+def run_task(
+    task: SweepTask,
+    cache: Optional[ResultCache] = None,
+    force: bool = False,
+) -> TaskOutcome:
+    """Run (or fetch) a single task; convenience wrapper over :func:`run_sweep`."""
+    report = run_sweep([task], jobs=1, cache=cache, force=force)
+    return report.outcomes[0]
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    force: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> SweepReport:
+    """Execute *tasks*, serving repeats from *cache* and storing fresh results.
+
+    Parameters
+    ----------
+    tasks:
+        Planned tasks (see :func:`repro.engine.planner.plan_sweep`).
+    jobs:
+        Worker processes; ``1`` runs serially in this process.  Results are
+        identical either way because each task is fully determined by its
+        (experiment, params, seed) triple.
+    cache:
+        Result cache, or ``None`` to always execute.
+    force:
+        Ignore cached entries (fresh results still overwrite them).
+    progress:
+        Optional callback invoked after every task completion.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    started = time.perf_counter()
+    total = len(tasks)
+    keys = [task.key() for task in tasks]
+    slots: List[Optional[TaskOutcome]] = [None] * total
+    pending: List[int] = []
+
+    done = 0
+    for index, (task, key) in enumerate(zip(tasks, keys)):
+        payload = None if (cache is None or force) else cache.get(task.experiment, key)
+        if payload is not None:
+            slots[index] = _outcome_from_payload(task, key, payload, cached=True)
+            done += 1
+            if progress:
+                progress(slots[index], done, total)
+        else:
+            pending.append(index)
+
+    def finish(index: int, result_dict: dict, elapsed: float) -> None:
+        nonlocal done
+        task, key = tasks[index], keys[index]
+        payload = _payload(task, key, result_dict, elapsed)
+        if cache is not None:
+            cache.put(task.experiment, key, payload)
+        slots[index] = _outcome_from_payload(task, key, payload, cached=False)
+        done += 1
+        if progress:
+            progress(slots[index], done, total)
+
+    if jobs == 1 or len(pending) <= 1:
+        for index in pending:
+            task = tasks[index]
+            result_dict, elapsed = execute_task(task.experiment, dict(task.params), task.seed)
+            finish(index, result_dict, elapsed)
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(
+                    execute_task, tasks[i].experiment, dict(tasks[i].params), tasks[i].seed
+                ): i
+                for i in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                completed, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in completed:
+                    result_dict, elapsed = future.result()
+                    finish(futures[future], result_dict, elapsed)
+
+    report = SweepReport(
+        outcomes=[slot for slot in slots if slot is not None],
+        wall_seconds=time.perf_counter() - started,
+    )
+    assert report.n_tasks == total, "every task must produce an outcome"
+    return report

@@ -1,0 +1,141 @@
+"""Declarative experiment specifications and the process-wide spec registry.
+
+An :class:`ExperimentSpec` describes one experiment of the paper's
+evaluation: the callable that runs it, the paper figure/table it reproduces,
+the reduced parameter set used for quick smoke runs, and the key columns that
+identify a logical data point (everything else is a metric that can be
+averaged across seeds).  Experiment modules register their spec at import
+time; the sweep planner, parallel runner and CLI all consume specs through
+this registry instead of hard-coding module lists.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Mapping, Tuple
+
+from repro.exceptions import InvalidParameterError
+
+if TYPE_CHECKING:  # avoid a module-level cycle: experiments modules import us
+    from repro.experiments.base import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one experiment.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier used by the CLI and the result cache
+        (e.g. ``"fig6_kcenter"``).
+    runner:
+        Module-level callable ``run(..., seed=...) -> ExperimentResult``.
+    description:
+        One-line summary of what the experiment measures.
+    paper_ref:
+        The paper artefact this reproduces (e.g. ``"Figure 6"``).
+    key_columns:
+        Row columns that identify a logical data point (dataset, method,
+        k, noise level, ...).  Numeric columns *not* listed here are metrics
+        and get mean/std aggregation across seeds.
+    quick:
+        Parameter overrides for smoke-test scale runs (``--quick``).
+    defaults:
+        Informational record of the full-scale default parameters (the
+        runner's own keyword defaults remain authoritative).
+    """
+
+    name: str
+    runner: Callable[..., ExperimentResult]
+    description: str
+    paper_ref: str
+    key_columns: Tuple[str, ...]
+    quick: Mapping[str, Any] = field(default_factory=dict)
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def module(self) -> str:
+        """Dotted module path of the runner (workers re-import specs by it)."""
+        return self.runner.__module__
+
+    def accepts(self, param: str) -> bool:
+        """Whether the runner's signature accepts *param* as a keyword."""
+        signature = _runner_signature(self.runner)
+        if param in signature.parameters:
+            kind = signature.parameters[param].kind
+            return kind in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        return any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in signature.parameters.values()
+        )
+
+    def validate_params(self, params: Mapping[str, Any]) -> None:
+        """Raise :class:`InvalidParameterError` on parameters the runner rejects."""
+        unknown = sorted(k for k in params if not self.accepts(k))
+        if unknown:
+            raise InvalidParameterError(
+                f"experiment {self.name!r} does not accept parameter(s) "
+                f"{', '.join(unknown)}"
+            )
+
+
+@functools.lru_cache(maxsize=None)
+def _runner_signature(runner: Callable) -> inspect.Signature:
+    """Memoised ``inspect.signature`` (planning probes it per grid key per task)."""
+    return inspect.signature(runner)
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register *spec* under its name; returns the spec for decorator-style use.
+
+    Re-registering the same name from the same module is an idempotent
+    replace (modules may be re-imported under test runners); registering a
+    different module under an existing name is an error.
+    """
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing.module != spec.module:
+        raise InvalidParameterError(
+            f"experiment name {spec.name!r} already registered by "
+            f"{existing.module}; refusing to overwrite from {spec.module}"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Look up a registered spec; raises ``KeyError`` with the known names."""
+    load_builtin_specs()
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(f"unknown experiment {name!r}; known: {known}")
+    return _REGISTRY[name]
+
+
+def spec_names() -> List[str]:
+    """Registered experiment names in registration order."""
+    load_builtin_specs()
+    return list(_REGISTRY)
+
+
+def iter_specs() -> Iterator[ExperimentSpec]:
+    """Iterate over registered specs in registration order."""
+    load_builtin_specs()
+    return iter(list(_REGISTRY.values()))
+
+
+def load_builtin_specs() -> None:
+    """Ensure the built-in experiment modules have registered their specs.
+
+    Importing :mod:`repro.experiments` triggers registration as a side
+    effect; worker processes call this before resolving a spec by name.
+    """
+    import repro.experiments  # noqa: F401  (import populates the registry)

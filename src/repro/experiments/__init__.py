@@ -1,17 +1,21 @@
 """Experiment harness regenerating every table and figure of the paper's evaluation.
 
 Each module exposes a ``run(...)`` function returning an
-:class:`~repro.experiments.base.ExperimentResult` whose rows mirror the
-series / table rows the paper reports.  Dataset sizes default to
-laptop-friendly values (the paper's absolute sizes are scaled down); pass
-larger ``n_points`` for closer-to-paper runs.
+:class:`~repro.experiments.base.ExperimentResult` and registers an
+:class:`~repro.engine.spec.ExperimentSpec` describing itself (paper
+reference, smoke-test overrides, aggregation key columns).  The engine
+(:mod:`repro.engine`) plans multi-seed sweeps over these specs, runs them
+across processes and caches results on disk.
 
-Run any experiment from the command line::
+Run experiments from the command line::
 
-    python -m repro.experiments fig6_kcenter --quick
+    python -m repro.experiments run fig6_kcenter --quick
+    python -m repro.experiments sweep --quick --seeds 4 --jobs 4
 """
 
-from repro.experiments import (
+import sys
+
+from repro.experiments import (  # noqa: F401  (imports register the specs)
     fig4_user_study,
     fig5_crowd_far_nn,
     fig6_kcenter_objective,
@@ -21,17 +25,11 @@ from repro.experiments import (
     table1_fscore,
     table2_queries,
 )
+from repro.engine.spec import iter_specs
 from repro.experiments.base import ExperimentResult
 
-EXPERIMENTS = {
-    "fig4_user_study": fig4_user_study,
-    "fig5_crowd_far_nn": fig5_crowd_far_nn,
-    "fig6_kcenter": fig6_kcenter_objective,
-    "fig7_hierarchical": fig7_hierarchical,
-    "fig8_farthest_noise": fig8_farthest_noise,
-    "fig9_nn_noise": fig9_nn_noise,
-    "table1_fscore": table1_fscore,
-    "table2_queries": table2_queries,
-}
+#: Name -> module mapping derived from the spec registry (legacy interface;
+#: new code should use :func:`repro.engine.get_spec` instead).
+EXPERIMENTS = {spec.name: sys.modules[spec.module] for spec in iter_specs()}
 
 __all__ = ["ExperimentResult", "EXPERIMENTS"]

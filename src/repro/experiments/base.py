@@ -5,7 +5,11 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.serialization import json_safe
+
+__all__ = ["ExperimentResult", "json_safe"]
 
 
 @dataclass
@@ -59,11 +63,15 @@ class ExperimentResult:
         rows = self.rows if max_rows is None else self.rows[:max_rows]
 
         def fmt(value: Any) -> str:
+            # Missing keys and explicit None render as empty cells, matching
+            # to_csv, so heterogeneous rows produce consistent output.
+            if value is None:
+                return ""
             if isinstance(value, float):
                 return float_format.format(value)
             return str(value)
 
-        rendered = [[fmt(row.get(c, "")) for c in columns] for row in rows]
+        rendered = [[fmt(row.get(c)) for c in columns] for row in rows]
         widths = [
             max(len(columns[i]), *(len(r[i]) for r in rendered)) if rendered else len(columns[i])
             for i in range(len(columns))
@@ -79,17 +87,41 @@ class ExperimentResult:
         return "\n".join(lines)
 
     def to_csv(self) -> str:
-        """CSV rendering of the rows."""
+        """CSV rendering of the rows.
+
+        Missing keys and explicit ``None`` both render as empty cells, and
+        the column order is the stable first-appearance order of
+        :meth:`columns` — the same conventions as :meth:`to_table`.
+        """
         columns = self.columns()
         buffer = io.StringIO()
-        writer = csv.DictWriter(buffer, fieldnames=columns)
+        writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
         writer.writeheader()
         for row in self.rows:
-            writer.writerow({c: row.get(c, "") for c in columns})
+            writer.writerow({c: ("" if row.get(c) is None else row[c]) for c in columns})
         return buffer.getvalue()
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot of this result (see :func:`json_safe`)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "rows": [json_safe(row) for row in self.rows],
+            "params": json_safe(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from a :meth:`to_dict` payload."""
+        return cls(
+            name=payload["name"],
+            description=payload.get("description", ""),
+            rows=[dict(row) for row in payload.get("rows", [])],
+            params=dict(payload.get("params", {})),
+        )
+
     def summary(self, group_by: Sequence[str], value: str) -> List[Dict[str, Any]]:
-        """Group rows by the given columns and average the *value* column."""
+        """Group rows by the given columns; report mean/std of the *value* column."""
         groups: Dict[tuple, List[float]] = {}
         for row in self.rows:
             key = tuple(row.get(c) for c in group_by)
@@ -98,7 +130,11 @@ class ExperimentResult:
         out = []
         for key, values in groups.items():
             entry = {c: k for c, k in zip(group_by, key)}
-            entry[f"mean_{value}"] = sum(values) / len(values)
+            mean = sum(values) / len(values)
+            entry[f"mean_{value}"] = mean
+            entry[f"std_{value}"] = (
+                sum((v - mean) ** 2 for v in values) / len(values)
+            ) ** 0.5
             entry["n"] = len(values)
             out.append(entry)
         return out

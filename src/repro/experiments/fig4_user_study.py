@@ -149,3 +149,18 @@ def accuracy_matrix(result: ExperimentResult, dataset: str) -> np.ndarray:
     for r in rows:
         matrix[r["bucket_left"], r["bucket_right"]] = r["accuracy"]
     return matrix
+
+
+from repro.engine.spec import ExperimentSpec, register
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig4_user_study",
+        runner=run,
+        description="Crowd quadruplet-query accuracy per distance-bucket pair",
+        paper_ref="Figure 4",
+        key_columns=("dataset", "regime", "bucket_left", "bucket_right"),
+        quick={"n_points": 150, "n_buckets": 5, "queries_per_cell": 4},
+        defaults={"n_buckets": 8, "n_workers": 3},
+    )
+)

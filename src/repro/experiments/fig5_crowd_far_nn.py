@@ -129,3 +129,18 @@ def run(
                     }
                 )
     return result
+
+
+from repro.engine.spec import ExperimentSpec, register
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig5_crowd_far_nn",
+        runner=run,
+        description="Farthest/NN true distance (normalised by optimum) under the crowd oracle",
+        paper_ref="Figure 5",
+        key_columns=("dataset", "task", "method", "regime"),
+        quick={"n_points": 150, "n_queries": 2},
+        defaults={"n_queries": 5},
+    )
+)

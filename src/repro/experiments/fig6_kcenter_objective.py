@@ -140,3 +140,18 @@ def run(
                     }
                 )
     return result
+
+
+from repro.engine.spec import ExperimentSpec, register
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig6_kcenter",
+        runner=run,
+        description="k-center objective vs k under adversarial / probabilistic noise",
+        paper_ref="Figure 6",
+        key_columns=("dataset", "noise", "level", "k", "method"),
+        quick={"n_points": 200, "k_values": [5, 10]},
+        defaults={"k_values": list(DEFAULT_K_VALUES), "panels": [list(p) for p in FIG6_PANELS]},
+    )
+)

@@ -99,3 +99,18 @@ def run(
                 }
             )
     return result
+
+
+from repro.engine.spec import ExperimentSpec, register
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig7_hierarchical",
+        runner=run,
+        description="Average merged-cluster distance (normalised by TDist) per linkage",
+        paper_ref="Figure 7",
+        key_columns=("dataset", "linkage", "method", "regime"),
+        quick={"n_points": 40},
+        defaults={"n_points": 60, "linkages": list(LINKAGES)},
+    )
+)

@@ -128,3 +128,23 @@ def run(
                 }
             )
     return result
+
+
+from repro.engine.spec import ExperimentSpec, register
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig8_farthest_noise",
+        runner=run,
+        description="Farthest-point quality vs synthetic noise level",
+        paper_ref="Figure 8",
+        key_columns=("dataset", "task", "noise", "level", "method"),
+        quick={"n_points": 200, "n_queries": 2},
+        defaults={
+            "dataset": "cities",
+            "mu_values": list(DEFAULT_MU_VALUES),
+            "p_values": list(DEFAULT_P_VALUES),
+            "n_queries": 5,
+        },
+    )
+)

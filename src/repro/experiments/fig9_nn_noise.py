@@ -36,3 +36,23 @@ def run(
         task="nearest",
         seed=seed,
     )
+
+
+from repro.engine.spec import ExperimentSpec, register
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig9_nn_noise",
+        runner=run,
+        description="Nearest-neighbour quality vs synthetic noise level",
+        paper_ref="Figure 9",
+        key_columns=("dataset", "task", "noise", "level", "method"),
+        quick={"n_points": 200, "n_queries": 2},
+        defaults={
+            "dataset": "cities",
+            "mu_values": list(DEFAULT_MU_VALUES),
+            "p_values": list(DEFAULT_P_VALUES),
+            "n_queries": 5,
+        },
+    )
+)

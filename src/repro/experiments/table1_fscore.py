@@ -142,3 +142,18 @@ def run(
                 }
             )
     return result
+
+
+from repro.engine.spec import ExperimentSpec, register
+
+SPEC = register(
+    ExperimentSpec(
+        name="table1_fscore",
+        runner=run,
+        description="Pairwise F-score of k-center clusterings vs ground truth",
+        paper_ref="Table 1",
+        key_columns=("dataset", "k", "method"),
+        quick={"n_points": 120},
+        defaults={"rows": [list(r) for r in TABLE1_ROWS], "oq_max_queries": 150},
+    )
+)

@@ -156,3 +156,18 @@ def run(
                 }
             )
     return result
+
+
+from repro.engine.spec import ExperimentSpec, register
+
+SPEC = register(
+    ExperimentSpec(
+        name="table2_queries",
+        runner=run,
+        description="Running time and #quadruplet comparisons on the dblp stand-in",
+        paper_ref="Table 2",
+        key_columns=("problem", "method", "status"),
+        quick={"n_points": 250, "k": 5, "linkage_points": 40},
+        defaults={"mu": 1.0, "k": 10, "linkage_points": 80},
+    )
+)

@@ -74,6 +74,23 @@ def derive_seed(rng: np.random.Generator) -> int:
     return int(rng.integers(0, 2**63 - 1, dtype=np.int64))
 
 
+def derive_task_seeds(base_seed: int, n: int) -> list[int]:
+    """Derive *n* deterministic, well-separated integer seeds from *base_seed*.
+
+    Used by the experiment engine to seed the tasks of a multi-seed sweep:
+    the mapping ``(base_seed, n) -> seeds`` is a pure function of its inputs
+    (``numpy.random.SeedSequence`` spreads the base seed through a hash
+    mixer), so re-planning the same sweep reproduces the same task seeds and
+    cache keys, while different base seeds give statistically independent
+    streams.  ``seeds[:k]`` is a prefix of ``derive_task_seeds(base_seed, m)``
+    for any ``m >= k``, so growing a sweep keeps existing cache entries valid.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    state = np.random.SeedSequence(base_seed).generate_state(n, dtype=np.uint32)
+    return [int(s) for s in state]
+
+
 _DEFAULT_SEED: Optional[int] = None
 
 

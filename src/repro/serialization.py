@@ -1,0 +1,34 @@
+"""JSON-safe conversion helpers shared by results, caching and hashing.
+
+Leaf module (imports nothing from :mod:`repro`) so both the experiment layer
+and the engine can depend on it without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively convert *value* into plain JSON-serialisable Python types.
+
+    NumPy scalars become Python ints/floats/bools, arrays and tuples become
+    lists, and mappings keep their (stringified) keys.  Used both for
+    persisting results to the on-disk cache and for computing stable cache
+    keys, so the conversion must be deterministic.
+    """
+    if value is None or isinstance(value, (str, bool, int, float)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [json_safe(v) for v in items]
+    # NumPy scalars / 0-d arrays expose item(); arrays expose tolist().
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return json_safe(tolist())
+    item = getattr(value, "item", None)
+    if callable(item):
+        return json_safe(item())
+    return str(value)

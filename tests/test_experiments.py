@@ -56,7 +56,55 @@ class TestExperimentResult:
         summary = self._result().summary(group_by=["method"], value="value")
         by_method = {row["method"]: row for row in summary}
         assert by_method["a"]["mean_value"] == pytest.approx(2.0)
+        assert by_method["a"]["std_value"] == pytest.approx(1.0)
         assert by_method["a"]["n"] == 2
+
+    def _heterogeneous(self):
+        # Regression shape: later rows introduce new keys, earlier keys go
+        # missing, and None appears explicitly (table2's DNF rows).
+        return ExperimentResult(
+            name="het",
+            description="heterogeneous rows",
+            rows=[
+                {"problem": "farthest", "time_seconds": 0.5, "status": "ok"},
+                {"problem": "linkage", "time_seconds": None, "status": "DNF"},
+                {"problem": "nearest", "status": "ok", "n_comparisons": 7},
+            ],
+        )
+
+    def test_heterogeneous_column_order_is_first_appearance(self):
+        result = self._heterogeneous()
+        assert result.columns() == ["problem", "time_seconds", "status", "n_comparisons"]
+
+    def test_heterogeneous_missing_and_none_render_empty_in_table(self):
+        lines = self._heterogeneous().to_table().splitlines()
+        assert "None" not in "\n".join(lines)
+        # DNF row: time_seconds cell (None) is blank.
+        dnf = next(line for line in lines if "linkage" in line)
+        assert dnf.split() == ["linkage", "DNF"]
+
+    def test_heterogeneous_missing_and_none_render_empty_in_csv(self):
+        csv_lines = self._heterogeneous().to_csv().splitlines()
+        assert csv_lines[0] == "problem,time_seconds,status,n_comparisons"
+        assert csv_lines[1] == "farthest,0.5,ok,"
+        assert csv_lines[2] == "linkage,,DNF,"
+        assert csv_lines[3] == "nearest,,ok,7"
+
+    def test_roundtrip_to_dict(self):
+        import numpy as np
+
+        result = ExperimentResult(
+            name="rt",
+            description="roundtrip",
+            rows=[{"a": np.int64(3), "b": np.float64(1.5), "c": (1, 2)}],
+            params={"seed": np.int32(7), "values": (0.1, 0.2)},
+        )
+        clone = ExperimentResult.from_dict(result.to_dict())
+        assert clone.rows == [{"a": 3, "b": 1.5, "c": [1, 2]}]
+        assert clone.params == {"seed": 7, "values": [0.1, 0.2]}
+        import json
+
+        assert json.dumps(result.to_dict())  # JSON-serialisable end to end
 
 
 class TestFig4:
