@@ -1,5 +1,5 @@
 # Convenience entrypoints mirroring .github/workflows/ci.yml.
-.PHONY: ci test lint bench docs
+.PHONY: ci test lint bench docs packaging
 
 ci:
 	scripts/ci.sh all
@@ -10,8 +10,14 @@ test:
 lint:
 	scripts/ci.sh lint
 
+# Benchmark smoke regressions plus the standing suite: regenerates the
+# BENCH_scaling.json / BENCH_batch.json artifacts at the repo root
+# (mirrors `python -m repro.bench run --quick`).
 bench:
 	scripts/ci.sh bench
+
+packaging:
+	scripts/ci.sh packaging
 
 docs:
 	scripts/ci.sh docs

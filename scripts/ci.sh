@@ -2,13 +2,22 @@
 # Local mirror of .github/workflows/ci.yml: same steps, same commands, so a
 # green `make ci` (or `scripts/ci.sh`) means a green pipeline.
 #
-# Usage: scripts/ci.sh [tests|lint|bench|docs|all]   (default: all)
+# Usage: scripts/ci.sh [packaging|tests|lint|bench|docs|all]   (default: all)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 step=${1:-all}
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+run_packaging() {
+    echo "== packaging: pyproject.toml must be the only packaging source =="
+    if [[ -f setup.py && -f pyproject.toml ]]; then
+        echo "ERROR: both setup.py and pyproject.toml exist." >&2
+        echo "Packaging moved to pyproject.toml (PR 1); delete setup.py." >&2
+        exit 1
+    fi
+}
 
 run_tests() {
     echo "== tests: PYTHONPATH=src python -m pytest -x -q --ignore=benchmarks =="
@@ -29,6 +38,8 @@ run_lint() {
 run_bench() {
     echo "== bench smoke: pytest benchmarks -q -k 'smoke or batch' =="
     python -m pytest benchmarks -q -s -k "smoke or batch" --benchmark-disable
+    echo "== bench suite: python -m repro.bench run --quick =="
+    python -m repro.bench run --quick
 }
 
 run_docs() {
@@ -37,18 +48,20 @@ run_docs() {
 }
 
 case "$step" in
+    packaging) run_packaging ;;
     tests) run_tests ;;
     lint) run_lint ;;
     bench) run_bench ;;
     docs) run_docs ;;
     all)
+        run_packaging
         run_tests
         run_lint
         run_bench
         run_docs
         ;;
     *)
-        echo "unknown step: $step (expected tests|lint|bench|docs|all)" >&2
+        echo "unknown step: $step (expected packaging|tests|lint|bench|docs|all)" >&2
         exit 2
         ;;
 esac

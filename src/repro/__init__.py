@@ -3,8 +3,9 @@
 A reproduction of "How to Design Robust Algorithms using Noisy Comparison
 Oracle" (Addanki, Galhotra, Saha — PVLDB 14(9), 2021).  The library provides:
 
-* a metric substrate and noisy comparison / quadruplet oracles (adversarial
-  and persistent-probabilistic noise models),
+* a metric substrate — including a lazy, bounded-memory distance backend for
+  n = 50,000-scale spaces — and noisy comparison / quadruplet oracles
+  (adversarial and persistent-probabilistic noise models),
 * robust maximum / minimum finding, farthest and nearest-neighbour search,
 * robust greedy k-center clustering under both noise models,
 * robust single / complete-linkage agglomerative hierarchical clustering,
@@ -13,7 +14,10 @@ Oracle" (Addanki, Galhotra, Saha — PVLDB 14(9), 2021).  The library provides:
   experiment harness regenerating every table and figure,
 * an experiment engine (:mod:`repro.engine`) that sweeps every experiment
   over seed/parameter grids across worker processes with on-disk result
-  caching (``python -m repro.experiments sweep --quick --seeds 4 --jobs 4``).
+  caching (``python -m repro.experiments sweep --quick --seeds 4 --jobs 4``),
+* a standing benchmark suite (:mod:`repro.bench`) emitting the repo's
+  machine-readable performance trajectory
+  (``python -m repro.bench run --quick`` writes ``BENCH_*.json``).
 
 Quickstart
 ----------

@@ -1,0 +1,51 @@
+"""Standing benchmark suite: the repo's machine-readable performance record.
+
+Every PR can regenerate two JSON artifacts at the repository root —
+``BENCH_scaling.json`` (wall-clock and peak memory per (algorithm, n,
+backend) cell, up to n = 50,000 on the lazy metric backend) and
+``BENCH_batch.json`` (batched-versus-scalar speedups of the oracle layer) —
+with one command::
+
+    python -m repro.bench run --quick
+
+The suite reuses the experiment engine's planning primitives
+(:func:`repro.engine.planner.expand_grid`,
+:func:`repro.rng.derive_task_seeds`) so cell expansion is deterministic:
+identical invocations produce identical cell lists and identical seeded
+metrics; only the timing columns vary run to run.  CI regenerates the quick
+artifacts on every push and uploads them, turning the JSON files into a
+tracked performance trajectory.  See ``docs/benchmarks.md`` for how to read
+the artifacts.
+"""
+
+from repro.bench.report import (
+    BENCH_SCHEMA_VERSION,
+    bench_payload,
+    write_bench_report,
+)
+from repro.bench.runner import BenchOutcome, measure_cell, run_cells
+from repro.bench.specs import (
+    BENCH_SUITES,
+    BenchCell,
+    BenchSpec,
+    bench_spec_names,
+    get_bench_spec,
+    iter_bench_specs,
+    plan_cells,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BENCH_SUITES",
+    "BenchCell",
+    "BenchOutcome",
+    "BenchSpec",
+    "bench_payload",
+    "bench_spec_names",
+    "get_bench_spec",
+    "iter_bench_specs",
+    "measure_cell",
+    "plan_cells",
+    "run_cells",
+    "write_bench_report",
+]

@@ -1,0 +1,85 @@
+"""JSON emission for the standing benchmark artifacts.
+
+One artifact per suite, named ``BENCH_<suite>.json`` (``BENCH_scaling.json``,
+``BENCH_batch.json``), written atomically with sorted keys and a fixed
+indentation so diffs between commits stay readable.  The payload separates
+the deterministic columns (cell identity and seeded ``metrics`` — identical
+across runs of the same code) from the measured columns (``measured``,
+``wall_seconds``, ``peak_traced_mb``, ``rss_max_mb`` — properties of the
+run machine), which is what makes the artifacts meaningful to compare over
+time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Dict, Sequence
+
+import numpy as np
+
+from repro.bench.runner import BenchOutcome
+from repro.serialization import json_safe
+
+#: Bump when the artifact layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _environment() -> Dict[str, str]:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+    }
+
+
+def outcome_row(outcome: BenchOutcome) -> Dict[str, Any]:
+    """Flatten one outcome into an artifact cell row."""
+    return {
+        "algorithm": outcome.cell.algorithm,
+        "params": json_safe(dict(outcome.cell.params)),
+        "seed": int(outcome.cell.seed),
+        "metrics": json_safe(outcome.metrics),
+        "measured": json_safe(outcome.measured),
+        "wall_seconds": round(outcome.wall_seconds, 6),
+        "peak_traced_mb": round(outcome.peak_traced_mb, 3),
+        "rss_max_mb": round(outcome.rss_max_mb, 3),
+    }
+
+
+def bench_payload(
+    suite: str, outcomes: Sequence[BenchOutcome], quick: bool
+) -> Dict[str, Any]:
+    """Full artifact payload for one suite."""
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "suite": suite,
+        "quick": bool(quick),
+        "generated_by": "python -m repro.bench run" + (" --quick" if quick else ""),
+        "environment": _environment(),
+        "n_cells": len(outcomes),
+        "cells": [outcome_row(o) for o in outcomes],
+    }
+
+
+def write_bench_report(
+    out_dir: Path | str, suite: str, outcomes: Sequence[BenchOutcome], quick: bool
+) -> Path:
+    """Write ``BENCH_<suite>.json`` under *out_dir* atomically; returns the path."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{suite}.json"
+    payload = bench_payload(suite, outcomes, quick)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def read_bench_report(path: Path | str) -> Dict[str, Any]:
+    """Load one artifact back (used by tests and trend tooling)."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,90 @@
+"""Measurement harness for benchmark cells.
+
+Cells run serially in the current process on purpose: per-cell wall-clock
+and Python-heap peaks are only meaningful without co-tenant processes, and
+``tracemalloc`` tracks the allocating interpreter.  Two memory columns are
+recorded per cell:
+
+* ``peak_traced_mb`` — peak Python-allocated memory *during the cell*, from
+  ``tracemalloc`` (reset per cell; the number the bounded-memory claims of
+  the lazy metric backend are asserted against), and
+* ``rss_max_mb`` — the process-lifetime resident-set high-water mark from
+  ``getrusage``.  It is monotone across cells (a later cell can never report
+  less), so read it as "the suite so far fit in this much", not per-cell.
+"""
+
+from __future__ import annotations
+
+import gc
+import resource
+import sys
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.bench.specs import BenchCell, get_bench_spec
+
+#: Callback signature: (finished outcome, n_done, n_total).
+ProgressFn = Callable[["BenchOutcome", int, int], None]
+
+
+@dataclass
+class BenchOutcome:
+    """One measured cell: deterministic metrics plus its measured costs.
+
+    ``metrics`` must reproduce exactly on re-runs of the same code;
+    ``measured`` holds workload-internal stopwatch numbers (the batch
+    suite's scalar/batched timings) that, like ``wall_seconds``, are
+    properties of the run machine.
+    """
+
+    cell: BenchCell
+    metrics: Dict[str, Any]
+    measured: Dict[str, Any]
+    wall_seconds: float
+    peak_traced_mb: float
+    rss_max_mb: float
+
+
+def _rss_max_mb() -> float:
+    """Process-lifetime peak RSS in MB (``ru_maxrss`` is KB on Linux, bytes on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024 * 1024 if sys.platform == "darwin" else 1024
+    return peak / divisor
+
+
+def measure_cell(cell: BenchCell) -> BenchOutcome:
+    """Run one cell under tracemalloc and a wall clock."""
+    runner = get_bench_spec(cell.algorithm).runner
+    gc.collect()
+    tracemalloc.start()
+    started = time.perf_counter()
+    try:
+        metrics = runner(**cell.kwargs())
+        peak_traced = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    metrics = dict(metrics)
+    measured = dict(metrics.pop("measured", {}))
+    return BenchOutcome(
+        cell=cell,
+        metrics=metrics,
+        measured=measured,
+        wall_seconds=time.perf_counter() - started,
+        peak_traced_mb=peak_traced / (1024 * 1024),
+        rss_max_mb=_rss_max_mb(),
+    )
+
+
+def run_cells(
+    cells: Sequence[BenchCell], progress: Optional[ProgressFn] = None
+) -> List[BenchOutcome]:
+    """Measure *cells* in order; returns one outcome per cell."""
+    outcomes: List[BenchOutcome] = []
+    for index, cell in enumerate(cells):
+        outcome = measure_cell(cell)
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome, index + 1, len(cells))
+    return outcomes

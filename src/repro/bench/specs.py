@@ -1,0 +1,215 @@
+"""Benchmark cell specifications and deterministic planning.
+
+A :class:`BenchSpec` declares one benchmark workload: the callable that runs
+it and the parameter grids it sweeps at full and at quick scale.  Planning
+mirrors the experiment engine — grids expand through
+:func:`repro.engine.planner.expand_grid` and seeds derive from
+:func:`repro.rng.derive_task_seeds` — so a given invocation always produces
+the same ordered cell list, which is what makes successive ``BENCH_*.json``
+artifacts comparable cell-for-cell across commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.bench import workloads
+from repro.engine.planner import expand_grid
+from repro.exceptions import InvalidParameterError
+from repro.rng import derive_task_seeds
+
+#: The suites the CLI can emit, in artifact order.
+BENCH_SUITES = ("scaling", "batch")
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One planned measurement: run *algorithm* with *params* at *seed*."""
+
+    suite: str
+    algorithm: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    def label(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.suite}/{self.algorithm}[{inner}, seed={self.seed}]"
+
+    def kwargs(self) -> Dict[str, Any]:
+        return {**self.params, "seed": self.seed}
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """Declarative description of one benchmark workload.
+
+    Attributes
+    ----------
+    name:
+        Stable cell identifier (the ``algorithm`` column of the artifact).
+    suite:
+        Which artifact the cells land in (``"scaling"`` or ``"batch"``).
+    runner:
+        Callable ``run(seed=..., **params) -> metrics dict`` from
+        :mod:`repro.bench.workloads`.
+    description:
+        One-line summary shown by ``python -m repro.bench list``.
+    grid:
+        Full-scale parameter grid (``{param: [values, ...]}``).
+    quick_grid:
+        Reduced grid used by ``--quick`` (CI and smoke runs).
+    """
+
+    name: str
+    suite: str
+    runner: Callable[..., Dict[str, Any]]
+    description: str
+    grid: Mapping[str, Sequence[Any]]
+    quick_grid: Mapping[str, Sequence[Any]]
+
+    def cells(self, quick: bool, seeds: Sequence[int]) -> List[BenchCell]:
+        """Expand this spec into ordered cells for the given seeds."""
+        grid = self.quick_grid if quick else self.grid
+        return [
+            BenchCell(self.suite, self.name, params, seed)
+            for params in expand_grid(grid)
+            for seed in seeds
+        ]
+
+
+_REGISTRY: Dict[str, BenchSpec] = {}
+
+
+def register(spec: BenchSpec) -> BenchSpec:
+    """Register *spec* under its name (names are unique across suites)."""
+    if spec.suite not in BENCH_SUITES:
+        raise InvalidParameterError(
+            f"unknown bench suite {spec.suite!r}; known: {', '.join(BENCH_SUITES)}"
+        )
+    if spec.name in _REGISTRY:
+        raise InvalidParameterError(f"bench spec {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_bench_spec(name: str) -> BenchSpec:
+    """Look up a registered bench spec; raises ``KeyError`` with known names."""
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(f"unknown bench spec {name!r}; known: {known}")
+    return _REGISTRY[name]
+
+
+def bench_spec_names(suite: Optional[str] = None) -> List[str]:
+    """Registered spec names (optionally restricted to one suite), in order."""
+    return [n for n, s in _REGISTRY.items() if suite is None or s.suite == suite]
+
+
+def iter_bench_specs(suite: Optional[str] = None) -> Iterator[BenchSpec]:
+    """Iterate registered specs, optionally restricted to one suite."""
+    return iter([s for s in _REGISTRY.values() if suite is None or s.suite == suite])
+
+
+def plan_cells(
+    suite: str,
+    quick: bool = False,
+    n_seeds: int = 1,
+    base_seed: int = 0,
+) -> List[BenchCell]:
+    """Expand every spec of *suite* into its ordered, seeded cell list."""
+    if suite not in BENCH_SUITES:
+        raise InvalidParameterError(
+            f"unknown bench suite {suite!r}; known: {', '.join(BENCH_SUITES)}"
+        )
+    if n_seeds < 1:
+        raise InvalidParameterError("a bench plan needs at least one seed")
+    seeds = derive_task_seeds(base_seed, n_seeds)
+    cells: List[BenchCell] = []
+    for spec in iter_bench_specs(suite):
+        cells.extend(spec.cells(quick, seeds))
+    return cells
+
+
+# --- built-in specs ----------------------------------------------------------
+
+#: n values for the scaling suite.  The lazy backend carries the large-n
+#: cells; the dense backend stops at the dense memoisation limit so the
+#: artifact records both regimes without ever materialising O(n^2) state.
+_SCALING_NS_FULL = [1000, 5000, 20000, 50000]
+_SCALING_NS_QUICK = [500, 2000]
+_DENSE_NS_FULL = [1000, 5000]
+_DENSE_NS_QUICK = [500]
+
+
+def _scaling_grid(ns_lazy: Sequence[int], ns_dense: Sequence[int]) -> Dict[str, list]:
+    # A plain cartesian n x backend grid; _ScalingSpec.cells drops the dense
+    # cells beyond the dense n limit after expansion.
+    return {
+        "n": sorted(set(list(ns_lazy) + list(ns_dense))),
+        "backend": ["lazy", "dense"],
+    }
+
+
+class _ScalingSpec(BenchSpec):
+    """Scaling spec that drops dense cells beyond the dense-backend limit."""
+
+    def cells(self, quick: bool, seeds: Sequence[int]) -> List[BenchCell]:
+        ns_dense = set(_DENSE_NS_QUICK if quick else _DENSE_NS_FULL)
+        return [
+            cell
+            for cell in super().cells(quick, seeds)
+            if cell.params["backend"] == "lazy" or cell.params["n"] in ns_dense
+        ]
+
+
+register(
+    _ScalingSpec(
+        name="count_max",
+        suite="scaling",
+        runner=workloads.run_count_max,
+        description="Count-Max over a record sample via quadruplet queries",
+        grid=_scaling_grid(_SCALING_NS_FULL, _DENSE_NS_FULL),
+        quick_grid=_scaling_grid(_SCALING_NS_QUICK, _DENSE_NS_QUICK),
+    )
+)
+register(
+    _ScalingSpec(
+        name="greedy_kcenter",
+        suite="scaling",
+        runner=workloads.run_greedy_kcenter,
+        description="Greedy farthest-point k-center plus objective evaluation",
+        grid=_scaling_grid(_SCALING_NS_FULL, _DENSE_NS_FULL),
+        quick_grid=_scaling_grid(_SCALING_NS_QUICK, _DENSE_NS_QUICK),
+    )
+)
+register(
+    _ScalingSpec(
+        name="nn_scan",
+        suite="scaling",
+        runner=workloads.run_nn_scan,
+        description="Exact nearest-neighbour scans over all records",
+        grid=_scaling_grid(_SCALING_NS_FULL, _DENSE_NS_FULL),
+        quick_grid=_scaling_grid(_SCALING_NS_QUICK, _DENSE_NS_QUICK),
+    )
+)
+register(
+    BenchSpec(
+        name="count_max_batch",
+        suite="batch",
+        runner=workloads.run_count_max_batch,
+        description="Batched Count-Max vs the scalar comparison loop",
+        grid={"n": [2000]},
+        quick_grid={"n": [400]},
+    )
+)
+register(
+    BenchSpec(
+        name="pair_distances_batch",
+        suite="batch",
+        runner=workloads.run_pair_distances_batch,
+        description="Batched pair_distances vs a scalar distance loop",
+        grid={"n": [5000], "backend": ["lazy", "dense"], "m_pairs": [50000]},
+        quick_grid={"n": [1000], "backend": ["lazy", "dense"], "m_pairs": [5000]},
+    )
+)

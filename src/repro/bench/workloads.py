@@ -1,0 +1,187 @@
+"""Measured workloads behind the standing benchmark cells.
+
+Each function runs one benchmark workload at a given scale and returns a
+flat metrics dict.  Metrics are deliberately deterministic given
+``(params, seed)`` — re-running a cell at the same seed must reproduce them
+exactly.  Anything nondeterministic is measured, not computed: the runner
+wraps every cell in a wall clock and tracemalloc, and workloads that time
+sub-phases themselves (the batch suite's scalar-versus-batched stopwatches)
+return those numbers under the reserved ``"measured"`` key, which the
+runner splits out of the metrics before they reach the artifact.
+
+The scaling workloads exercise the two paths the lazy metric layer makes
+first-class at n = 50,000:
+
+* ``count_max`` — Count-Max over a sample of records viewed through a
+  :class:`~repro.oracles.quadruplet.DistanceQuadrupletOracle`, i.e. scattered
+  ``pair_distances`` batches against the full space;
+* ``greedy_kcenter`` — greedy farthest-point k-center, i.e. row-shaped
+  ``distances_from`` sweeps; and
+* ``nn_scan`` — exact nearest-neighbour scans over all records.
+
+The batch workloads re-measure PR 1's batched-versus-scalar claim as
+numbers rather than a pass/fail assertion, so the speedup trajectory is
+visible across commits.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.kcenter.greedy_exact import greedy_kcenter_exact
+from repro.kcenter.objective import kcenter_objective
+from repro.maximum.count_max import count_max
+from repro.metric.space import PointCloudSpace
+from repro.neighbors.exact import exact_nearest
+from repro.oracles.base import distance_comparison_view
+from repro.oracles.comparison import ValueComparisonOracle
+from repro.oracles.counting import QueryCounter
+from repro.oracles.quadruplet import DistanceQuadrupletOracle
+from repro.rng import ensure_rng, sample_without_replacement
+
+#: Dimension of the synthetic benchmark clouds.
+BENCH_DIMENSION = 8
+
+
+def make_bench_space(n: int, backend: str, seed: int) -> PointCloudSpace:
+    """Uniform benchmark cloud on the requested metric backend.
+
+    ``"dense"`` reproduces the classic :class:`PointCloudSpace` behaviour
+    (dense memoisation up to the cache limit, direct evaluation beyond);
+    ``"lazy"`` uses the bounded-memory block backend at its defaults.  The
+    coordinates depend only on *seed*, so both backends see identical ground
+    truth.
+    """
+    points = ensure_rng(seed).uniform(0.0, 1.0, size=(n, BENCH_DIMENSION))
+    return PointCloudSpace(points, backend=backend)
+
+
+def run_count_max(
+    n: int = 2000, backend: str = "lazy", sample_size: int = 256, seed: int = 0
+) -> Dict[str, Any]:
+    """Count-Max over a record sample via a quadruplet "farthest from q" view."""
+    space = make_bench_space(n, backend, seed)
+    counter = QueryCounter()
+    oracle = DistanceQuadrupletOracle(space, counter=counter, cache_answers=False)
+    view = distance_comparison_view(oracle, query=0)
+    m = min(int(sample_size), n - 1)
+    items = (sample_without_replacement(ensure_rng(seed), n - 1, m) + 1).tolist()
+    winner = count_max(items, view, seed=seed)
+    return {
+        "sample_size": m,
+        "queries": counter.charged_queries,
+        "winner_is_true_farthest": bool(winner == space.farthest_from(0, items)),
+        **_cache_metrics(space),
+    }
+
+
+def run_greedy_kcenter(
+    n: int = 2000, backend: str = "lazy", k: int = 8, seed: int = 0
+) -> Dict[str, Any]:
+    """Greedy farthest-point k-center plus one full objective evaluation."""
+    space = make_bench_space(n, backend, seed)
+    result = greedy_kcenter_exact(space, k=k, seed=seed)
+    return {
+        "k": result.k,
+        "objective": kcenter_objective(space, result),
+        **_cache_metrics(space),
+    }
+
+
+def run_nn_scan(
+    n: int = 2000, backend: str = "lazy", n_queries: int = 8, seed: int = 0
+) -> Dict[str, Any]:
+    """Exact nearest-neighbour scans from *n_queries* seeded query records."""
+    space = make_bench_space(n, backend, seed)
+    queries = sample_without_replacement(ensure_rng(seed), n, min(int(n_queries), n))
+    neighbours = [exact_nearest(space, int(q)) for q in queries]
+    return {
+        "n_queries": len(neighbours),
+        "neighbour_checksum": int(np.sum(neighbours) % 1_000_000),
+        **_cache_metrics(space),
+    }
+
+
+def _cache_metrics(space: PointCloudSpace) -> Dict[str, Any]:
+    stats = space.backend_stats()
+    if not stats:
+        return {"backend_cache_bytes": None}
+    return {
+        "backend_cache_bytes": stats["current_bytes"],
+        "backend_cache_hits": stats["hits"],
+        "backend_blocks_materialized": stats["materialized_blocks"],
+    }
+
+
+# --- batched-versus-scalar workloads (BENCH_batch.json) ----------------------
+
+
+def _count_max_scalar_reference(items, oracle, seed):
+    """The pre-batching Count-Max loop, kept as the scalar yardstick."""
+    scores = {i: 0 for i in items}
+    for a_pos, a in enumerate(items):
+        for b in items[a_pos + 1 :]:
+            if oracle.compare(a, b):
+                scores[b] += 1
+            else:
+                scores[a] += 1
+    best = max(scores.values())
+    winners = [i for i, s in scores.items() if s == best]
+    if len(winners) == 1:
+        return winners[0]
+    rng = ensure_rng(seed)
+    return int(winners[int(rng.integers(0, len(winners)))])
+
+
+def run_count_max_batch(n: int = 1000, seed: int = 0) -> Dict[str, Any]:
+    """Batched Count-Max versus the scalar loop on identically-seeded oracles."""
+    values = ensure_rng(seed).uniform(0.0, 100.0, size=n)
+    items = list(range(n))
+
+    def fresh_oracle():
+        return ValueComparisonOracle(values, counter=QueryCounter(), cache_answers=False)
+
+    start = time.perf_counter()
+    scalar_winner = _count_max_scalar_reference(items, fresh_oracle(), seed)
+    scalar_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    batched_winner = count_max(items, fresh_oracle(), seed=seed)
+    batched_seconds = time.perf_counter() - start
+    return {
+        "outputs_identical": bool(batched_winner == scalar_winner),
+        "measured": {
+            "scalar_seconds": scalar_seconds,
+            "batched_seconds": batched_seconds,
+            "speedup": scalar_seconds / max(batched_seconds, 1e-9),
+        },
+    }
+
+
+def run_pair_distances_batch(
+    n: int = 2000, backend: str = "lazy", m_pairs: int = 20000, seed: int = 0
+) -> Dict[str, Any]:
+    """Batched ``pair_distances`` versus a scalar ``distance`` loop."""
+    space = make_bench_space(n, backend, seed)
+    rng = ensure_rng(seed)
+    i = rng.integers(0, n, size=int(m_pairs))
+    j = rng.integers(0, n, size=int(m_pairs))
+    start = time.perf_counter()
+    scalar = np.fromiter(
+        (space.distance(int(a), int(b)) for a, b in zip(i, j)), dtype=float, count=len(i)
+    )
+    scalar_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    batched = space.pair_distances(i, j)
+    batched_seconds = time.perf_counter() - start
+    return {
+        "m_pairs": int(m_pairs),
+        "outputs_identical": bool(np.array_equal(scalar, batched)),
+        "measured": {
+            "scalar_seconds": scalar_seconds,
+            "batched_seconds": batched_seconds,
+            "speedup": scalar_seconds / max(batched_seconds, 1e-9),
+        },
+    }

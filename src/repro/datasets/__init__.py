@@ -15,12 +15,17 @@ with the *structural* properties the evaluation relies on:
   (adversarial-noise regime).
 * ``dblp`` — a large, higher-dimensional embedding-like cloud used for the
   scalability experiments.
+* ``uniform-large`` / ``dblp-large`` — paper-scale clouds (50K / 20K records
+  by default) generated on the lazy metric backend: they never materialise a
+  dense distance matrix, so loading and querying them is bounded-memory.
 """
 
 from repro.datasets.cities import make_cities
 from repro.datasets.registry import DATASET_NAMES, load_dataset
 from repro.datasets.synthetic import (
     make_blobs_space,
+    make_large_blobs_space,
+    make_large_uniform_space,
     make_skewed_values,
     make_uniform_space,
     make_values_with_confusion_set,
@@ -29,6 +34,8 @@ from repro.datasets.taxonomy import make_taxonomy_space
 
 __all__ = [
     "make_blobs_space",
+    "make_large_blobs_space",
+    "make_large_uniform_space",
     "make_uniform_space",
     "make_skewed_values",
     "make_values_with_confusion_set",

@@ -10,7 +10,12 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.datasets.cities import make_cities
-from repro.datasets.synthetic import make_blobs_space, make_uniform_space
+from repro.datasets.synthetic import (
+    make_blobs_space,
+    make_large_blobs_space,
+    make_large_uniform_space,
+    make_uniform_space,
+)
 from repro.datasets.taxonomy import make_taxonomy_space
 from repro.exceptions import DatasetError
 from repro.metric.space import PointCloudSpace
@@ -73,6 +78,21 @@ def _load_uniform(n_points: int, seed: SeedLike) -> PointCloudSpace:
     return make_uniform_space(n_points=n_points, dimension=2, seed=seed)
 
 
+def _load_uniform_large(n_points: int, seed: SeedLike) -> PointCloudSpace:
+    # Paper-scale uniform cloud on the lazy backend: no dense distance state.
+    return make_large_uniform_space(n_points=n_points, dimension=8, seed=seed)
+
+
+def _load_dblp_large(n_points: int, seed: SeedLike) -> PointCloudSpace:
+    # Embedding-like cloud at the paper's dblp scale regime (lazy backend).
+    return make_large_blobs_space(
+        n_points=n_points,
+        n_clusters=min(200, max(1, n_points // 250)),
+        dimension=16,
+        seed=seed,
+    )
+
+
 _LOADERS: Dict[str, Callable[[int, SeedLike], PointCloudSpace]] = {
     "cities": _load_cities,
     "caltech": _load_caltech,
@@ -80,11 +100,15 @@ _LOADERS: Dict[str, Callable[[int, SeedLike], PointCloudSpace]] = {
     "monuments": _load_monuments,
     "dblp": _load_dblp,
     "uniform": _load_uniform,
+    "uniform-large": _load_uniform_large,
+    "dblp-large": _load_dblp_large,
 }
 
 #: Default sizes used when the caller does not override ``n_points``.  The
 #: paper's sizes (36K cities, 1.8M dblp titles) are scaled down so every
 #: experiment runs on a laptop; query *counts* still follow the same curves.
+#: The ``*-large`` entries keep paper-scale sizes — they load on the lazy
+#: metric backend, so generating them is O(n * d) memory, not O(n^2).
 DEFAULT_SIZES: Dict[str, int] = {
     "cities": 800,
     "caltech": 400,
@@ -92,6 +116,8 @@ DEFAULT_SIZES: Dict[str, int] = {
     "monuments": 100,
     "dblp": 1200,
     "uniform": 500,
+    "uniform-large": 50_000,
+    "dblp-large": 20_000,
 }
 
 DATASET_NAMES = tuple(sorted(_LOADERS))

@@ -19,6 +19,9 @@ def make_blobs_space(
     center_spread: float = 10.0,
     weights: Optional[Sequence[float]] = None,
     seed: SeedLike = None,
+    backend: str = "auto",
+    block_size: Optional[int] = None,
+    max_cached_blocks: Optional[int] = None,
 ) -> PointCloudSpace:
     """Gaussian-mixture point cloud with ground-truth cluster labels.
 
@@ -39,6 +42,12 @@ def make_blobs_space(
         default.
     seed:
         Seed for reproducibility.
+    backend:
+        Metric-space backend (``"auto"``, ``"dense"`` or ``"lazy"``); see
+        :class:`~repro.metric.space.PointCloudSpace`.
+    block_size, max_cached_blocks:
+        Optional lazy-backend block-cache knobs (``None`` keeps the space
+        defaults).
     """
     if n_points < 1:
         raise InvalidParameterError("n_points must be positive")
@@ -61,7 +70,12 @@ def make_blobs_space(
     for cluster in range(min(n_clusters, n_points)):
         labels[cluster] = cluster
     points = centers[labels] + rng.normal(0.0, cluster_std, size=(n_points, dimension))
-    return PointCloudSpace(points, labels=labels)
+    return PointCloudSpace(
+        points,
+        labels=labels,
+        backend=backend,
+        **_cache_kwargs(block_size, max_cached_blocks),
+    )
 
 
 def make_uniform_space(
@@ -70,6 +84,9 @@ def make_uniform_space(
     low: float = 0.0,
     high: float = 1.0,
     seed: SeedLike = None,
+    backend: str = "auto",
+    block_size: Optional[int] = None,
+    max_cached_blocks: Optional[int] = None,
 ) -> PointCloudSpace:
     """Points drawn uniformly at random from an axis-aligned box."""
     if n_points < 1:
@@ -78,7 +95,78 @@ def make_uniform_space(
         raise InvalidParameterError("high must be greater than low")
     rng = ensure_rng(seed)
     points = rng.uniform(low, high, size=(n_points, dimension))
-    return PointCloudSpace(points)
+    return PointCloudSpace(
+        points, backend=backend, **_cache_kwargs(block_size, max_cached_blocks)
+    )
+
+
+def make_large_uniform_space(
+    n_points: int,
+    dimension: int = 8,
+    low: float = 0.0,
+    high: float = 1.0,
+    seed: SeedLike = None,
+    block_size: Optional[int] = None,
+    max_cached_blocks: Optional[int] = None,
+) -> PointCloudSpace:
+    """Large-n uniform cloud on the lazy backend: O(n * d) memory, never O(n^2).
+
+    A thin wrapper over :func:`make_uniform_space` that forces
+    ``backend="lazy"``: the returned space never allocates a dense distance
+    matrix regardless of *n_points*, so peak extra memory while querying is
+    bounded by the block cache.
+    """
+    return make_uniform_space(
+        n_points,
+        dimension=dimension,
+        low=low,
+        high=high,
+        seed=seed,
+        backend="lazy",
+        block_size=block_size,
+        max_cached_blocks=max_cached_blocks,
+    )
+
+
+def make_large_blobs_space(
+    n_points: int,
+    n_clusters: int = 64,
+    dimension: int = 16,
+    cluster_std: float = 1.0,
+    center_spread: float = 12.0,
+    seed: SeedLike = None,
+    block_size: Optional[int] = None,
+    max_cached_blocks: Optional[int] = None,
+) -> PointCloudSpace:
+    """Large-n Gaussian mixture on the lazy backend (embedding-like workloads).
+
+    A thin wrapper over :func:`make_blobs_space` with embedding-ish defaults
+    and ``backend="lazy"`` forced: ground-truth labels are kept (evaluation
+    code uses them) but no dense distance matrix is ever built, matching the
+    paper's large collections (36K cities, 1.8M titles) where materialising
+    O(n^2) distances is off the table.
+    """
+    return make_blobs_space(
+        n_points,
+        n_clusters,
+        dimension=dimension,
+        cluster_std=cluster_std,
+        center_spread=center_spread,
+        seed=seed,
+        backend="lazy",
+        block_size=block_size,
+        max_cached_blocks=max_cached_blocks,
+    )
+
+
+def _cache_kwargs(block_size: Optional[int], max_cached_blocks: Optional[int]) -> dict:
+    """Space-constructor kwargs for the optional block-cache knobs."""
+    kwargs: dict = {}
+    if block_size is not None:
+        kwargs["block_size"] = int(block_size)
+    if max_cached_blocks is not None:
+        kwargs["max_cached_blocks"] = int(max_cached_blocks)
+    return kwargs
 
 
 def make_skewed_values(

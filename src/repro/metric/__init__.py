@@ -12,11 +12,13 @@ abstraction therefore plays two roles:
 from repro.metric.distances import (
     chebyshev_distance,
     cosine_distance,
+    cross_distances,
     euclidean_distance,
     haversine_distance,
     manhattan_distance,
     minkowski_distance,
 )
+from repro.metric.lazy import BlockLRUCache, LazyBlockBackend
 from repro.metric.space import (
     DistanceMatrixSpace,
     MetricSpace,
@@ -30,6 +32,9 @@ __all__ = [
     "PointCloudSpace",
     "DistanceMatrixSpace",
     "ValueSpace",
+    "BlockLRUCache",
+    "LazyBlockBackend",
+    "cross_distances",
     "euclidean_distance",
     "manhattan_distance",
     "chebyshev_distance",

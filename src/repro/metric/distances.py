@@ -96,6 +96,27 @@ def haversine_distance(a, b, radius_km: float = EARTH_RADIUS_KM) -> np.ndarray |
     return float(result) if np.ndim(result) == 0 else result
 
 
+def cross_distances(distance_fn, rows, cols) -> np.ndarray:
+    """Rectangular distance block between every row of *rows* and every row of *cols*.
+
+    Returns an ``(len(rows), len(cols))`` array where entry ``[a, b]`` is
+    ``distance_fn(rows[a], cols[b])``.  The block is computed with one
+    broadcast evaluation of *distance_fn* over an ``(m, k, d)`` expansion, so
+    the callable must follow this module's broadcasting convention (reduce
+    over ``axis=-1``).  Per-entry results are bit-identical to calling
+    *distance_fn* on the corresponding 1-D row pairs for the built-in
+    reductions, which is what lets the lazy block backend share one
+    answer-keyspace with the scalar path.
+    """
+    rows = np.asarray(rows, dtype=float)
+    cols = np.asarray(cols, dtype=float)
+    if rows.ndim != 2 or cols.ndim != 2:
+        raise InvalidParameterError(
+            f"cross_distances needs 2-D inputs, got shapes {rows.shape} and {cols.shape}"
+        )
+    return np.asarray(distance_fn(rows[:, None, :], cols[None, :, :]), dtype=float)
+
+
 DISTANCE_FUNCTIONS = {
     "euclidean": euclidean_distance,
     "manhattan": manhattan_distance,

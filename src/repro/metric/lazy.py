@@ -1,0 +1,292 @@
+"""Lazy, bounded-memory distance evaluation for large point clouds.
+
+The dense memoisation in :class:`~repro.metric.space.PointCloudSpace` keeps a
+full ``(n, n)`` matrix, which stops being an option long before the paper's
+headline scales (n = 50,000 would need ~20 GB).  This module provides the
+large-n alternative: the virtual distance matrix is partitioned into square
+*blocks* of side ``block_size``, and only a bounded number of materialised
+blocks is kept in an LRU cache.  Everything else is computed on demand, in
+chunks, so peak extra memory is ``O(block cache + chunk)`` regardless of n.
+
+Access patterns map onto three strategies:
+
+* **Dense-ish batches** — when one ``pair_distances`` call asks for at least
+  ``materialize_threshold`` pairs inside the same block, the whole block is
+  materialised once (amortising to at most ``block_size`` distance
+  evaluations per requested pair) and cached for future calls.
+* **Scattered pairs** — pairs that do not justify a block are computed
+  directly with the vectorised distance function, ``pair_chunk`` pairs at a
+  time, bounding the temporary arrays.
+* **Rows** — ``distances_from`` (the k-center / nearest-neighbour hot path)
+  computes the row directly in candidate chunks; rows are transient by
+  nature (greedy passes never revisit one), so they bypass the block cache.
+
+Results are bit-identical to the dense backend for the broadcastable
+distance functions: blocks, chunks and scalars all reduce over the same
+contiguous ``axis=-1`` slices, and every built-in distance is symmetric
+under argument swap, so canonicalising a pair to its upper-triangle block
+cannot change the value.  :mod:`tests.test_metric_lazy` asserts the exact
+equality.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.metric.distances import cross_distances
+
+#: Default side length of a materialised distance block.
+DEFAULT_BLOCK_SIZE = 1024
+
+#: Default number of blocks the LRU cache retains.
+DEFAULT_MAX_BLOCKS = 32
+
+#: Cap on the number of pairs evaluated per direct (non-block) chunk.
+DEFAULT_PAIR_CHUNK = 65536
+
+#: Byte budget for the broadcast temporary while filling one block.
+_BLOCK_FILL_BUDGET_BYTES = 8 * 1024 * 1024
+
+
+class BlockLRUCache:
+    """LRU cache of materialised distance-matrix blocks.
+
+    Keys are ``(block_row, block_col)`` tuples with ``block_row <=
+    block_col`` (the lazy backend canonicalises pairs into the upper
+    triangle); values are dense float blocks.  The cache never holds more
+    than ``max_blocks`` blocks, so its memory is bounded by
+    :attr:`capacity_bytes` independent of the number of records.
+    """
+
+    def __init__(
+        self,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        max_blocks: int = DEFAULT_MAX_BLOCKS,
+    ):
+        block_size = int(block_size)
+        max_blocks = int(max_blocks)
+        if block_size < 1:
+            raise InvalidParameterError(f"block_size must be positive, got {block_size}")
+        if max_blocks < 1:
+            raise InvalidParameterError(f"max_blocks must be positive, got {max_blocks}")
+        self.block_size = block_size
+        self.max_blocks = max_blocks
+        self._blocks: "OrderedDict[Tuple[int, int], np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return key in self._blocks
+
+    def get(self, key: Tuple[int, int]) -> Optional[np.ndarray]:
+        """Return the cached block for *key* (and mark it recently used), or ``None``."""
+        block = self._blocks.get(key)
+        if block is None:
+            self.misses += 1
+            return None
+        self._blocks.move_to_end(key)
+        self.hits += 1
+        return block
+
+    def put(self, key: Tuple[int, int], block: np.ndarray) -> None:
+        """Insert *block* under *key*, evicting least-recently-used blocks if full."""
+        self._blocks[key] = block
+        self._blocks.move_to_end(key)
+        while len(self._blocks) > self.max_blocks:
+            self._blocks.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached block (statistics are kept)."""
+        self._blocks.clear()
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Upper bound on cached-block memory: ``max_blocks * block_size**2 * 8``."""
+        return self.max_blocks * self.block_size * self.block_size * 8
+
+    @property
+    def current_bytes(self) -> int:
+        """Memory currently held by cached blocks."""
+        return sum(block.nbytes for block in self._blocks.values())
+
+    def stats(self) -> Dict[str, int]:
+        """Plain-dict snapshot of the cache counters (for bench/report rows)."""
+        return {
+            "blocks": len(self._blocks),
+            "block_size": self.block_size,
+            "max_blocks": self.max_blocks,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "current_bytes": self.current_bytes,
+            "capacity_bytes": self.capacity_bytes,
+        }
+
+
+class LazyBlockBackend:
+    """Block-wise distance evaluation over a coordinate matrix.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` float coordinate matrix (not copied).
+    distance_fn:
+        A broadcastable distance callable from :mod:`repro.metric.distances`.
+        Only functions whose batched results are bit-identical to their
+        scalar results may be used here; :class:`~repro.metric.space.PointCloudSpace`
+        enforces that before constructing a backend.
+    block_size, max_blocks:
+        Geometry and capacity of the :class:`BlockLRUCache`.
+    pair_chunk:
+        Maximum number of pairs (or row candidates) evaluated per direct
+        vectorised chunk; bounds temporary memory at ``O(pair_chunk * d)``.
+    materialize_threshold:
+        Minimum number of same-block pairs in a single ``pair_distances``
+        call that justifies materialising the block (default:
+        ``block_size``, i.e. at most ``block_size`` distance evaluations per
+        requested pair before amortisation).
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        distance_fn: Callable,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        max_blocks: int = DEFAULT_MAX_BLOCKS,
+        pair_chunk: int = DEFAULT_PAIR_CHUNK,
+        materialize_threshold: Optional[int] = None,
+    ):
+        pair_chunk = int(pair_chunk)
+        if pair_chunk < 1:
+            raise InvalidParameterError(f"pair_chunk must be positive, got {pair_chunk}")
+        self.points = points
+        self.distance_fn = distance_fn
+        self.cache = BlockLRUCache(block_size=block_size, max_blocks=max_blocks)
+        self.pair_chunk = pair_chunk
+        if materialize_threshold is None:
+            materialize_threshold = self.cache.block_size
+        self.materialize_threshold = max(1, int(materialize_threshold))
+        self.direct_pairs = 0
+        self.materialized_blocks = 0
+
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of blocks per matrix side."""
+        size = self.cache.block_size
+        return (self.n_points + size - 1) // size
+
+    def _fill_block(self, key: Tuple[int, int]) -> np.ndarray:
+        """Materialise and cache the block at *key*; returns the block."""
+        size = self.cache.block_size
+        n = self.n_points
+        bi, bj = key
+        rows = self.points[bi * size : min((bi + 1) * size, n)]
+        cols = self.points[bj * size : min((bj + 1) * size, n)]
+        block = np.empty((len(rows), len(cols)), dtype=float)
+        # Fill in row stripes so the (stripe, cols, d) broadcast temporary
+        # stays under the byte budget even for wide blocks.
+        dim = max(1, self.points.shape[1])
+        stripe = max(1, _BLOCK_FILL_BUDGET_BYTES // (max(1, len(cols)) * dim * 8))
+        for start in range(0, len(rows), stripe):
+            block[start : start + stripe] = cross_distances(
+                self.distance_fn, rows[start : start + stripe], cols
+            )
+        self.cache.put(key, block)
+        self.materialized_blocks += 1
+        return block
+
+    def _compute_direct(
+        self, ii: np.ndarray, jj: np.ndarray, positions: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Evaluate scattered pairs at *positions* directly, in bounded chunks."""
+        for start in range(0, len(positions), self.pair_chunk):
+            pos = positions[start : start + self.pair_chunk]
+            out[pos] = self.distance_fn(self.points[ii[pos]], self.points[jj[pos]])
+        self.direct_pairs += len(positions)
+
+    def pair_distances(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Distances for paired indices ``(i[k], j[k])`` with bounded memory.
+
+        Pairs are canonicalised into the upper block triangle (every built-in
+        distance is symmetric), grouped by block, and served from cached
+        blocks where possible; blocks attracting at least
+        ``materialize_threshold`` pairs are materialised, the rest are
+        computed directly in chunks.
+        """
+        m = len(i)
+        out = np.empty(m, dtype=float)
+        if m == 0:
+            return out
+        size = self.cache.block_size
+        swap = (i // size) > (j // size)
+        ii = np.where(swap, j, i)
+        jj = np.where(swap, i, j)
+        bi = ii // size
+        bj = jj // size
+        block_ids = bi * self.n_blocks + bj
+        order = np.argsort(block_ids, kind="stable")
+        ids_sorted = block_ids[order]
+        starts = np.flatnonzero(np.r_[True, ids_sorted[1:] != ids_sorted[:-1]])
+        ends = np.r_[starts[1:], m]
+        direct_groups = []
+        for start, end in zip(starts, ends):
+            group = order[start:end]
+            key = divmod(int(ids_sorted[start]), self.n_blocks)
+            block = self.cache.get(key)
+            if block is None and (end - start) >= self.materialize_threshold:
+                block = self._fill_block(key)
+            if block is None:
+                direct_groups.append(group)
+            else:
+                out[group] = block[ii[group] - key[0] * size, jj[group] - key[1] * size]
+        if direct_groups:
+            positions = (
+                np.concatenate(direct_groups) if len(direct_groups) > 1 else direct_groups[0]
+            )
+            self._compute_direct(ii, jj, positions, out)
+        return out
+
+    def distances_from(self, i: int, candidates: np.ndarray) -> np.ndarray:
+        """Distances from record *i* to each candidate, computed in chunks.
+
+        Rows bypass the block cache: the callers that need rows (greedy
+        k-center, exact neighbour scans) visit each row at most once, so
+        caching them would only evict blocks that scattered pair queries
+        still profit from.
+        """
+        out = np.empty(len(candidates), dtype=float)
+        row = self.points[i]
+        for start in range(0, len(candidates), self.pair_chunk):
+            idx = candidates[start : start + self.pair_chunk]
+            out[start : start + len(idx)] = self.distance_fn(row, self.points[idx])
+        return out
+
+    def distance(self, i: int, j: int) -> float:
+        """Scalar distance; served from a cached block when one covers the pair."""
+        size = self.cache.block_size
+        a, b = (i, j) if i // size <= j // size else (j, i)
+        key = (a // size, b // size)
+        block = self.cache.get(key)
+        if block is not None:
+            return float(block[a - key[0] * size, b - key[1] * size])
+        return float(self.distance_fn(self.points[a], self.points[b]))
+
+    def stats(self) -> Dict[str, int]:
+        """Cache statistics plus backend-level counters."""
+        stats = self.cache.stats()
+        stats["direct_pairs"] = self.direct_pairs
+        stats["materialized_blocks"] = self.materialized_blocks
+        return stats

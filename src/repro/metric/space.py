@@ -9,7 +9,10 @@ provide.
 Three concrete implementations cover every use in the library:
 
 * :class:`PointCloudSpace` — records are rows of a coordinate matrix and the
-  distance is any callable from :mod:`repro.metric.distances`.
+  distance is any callable from :mod:`repro.metric.distances`.  Small spaces
+  memoise distances in a dense matrix; large spaces switch to the lazy,
+  bounded-memory block backend of :mod:`repro.metric.lazy` (select
+  explicitly with ``backend="lazy"``).
 * :class:`DistanceMatrixSpace` — records are indices into an explicit
   pairwise-distance matrix (used for taxonomy/tree ground truths).
 * :class:`ValueSpace` — records carry scalar *values* rather than positions;
@@ -25,6 +28,7 @@ import numpy as np
 
 from repro.exceptions import EmptyInputError, InvalidParameterError
 from repro.metric.distances import DISTANCE_FUNCTIONS, euclidean_distance
+from repro.metric.lazy import DEFAULT_BLOCK_SIZE, DEFAULT_MAX_BLOCKS, LazyBlockBackend
 
 #: Distance callables known to broadcast row-wise over ``(m, d)`` inputs
 #: with bit-identical per-row results, enabling the vectorised
@@ -150,7 +154,19 @@ class PointCloudSpace(MetricSpace):
         evaluation code; the algorithms themselves never see them.
     cache:
         When true (the default for fewer than ``cache_limit`` points) computed
-        distances are memoised in a dense matrix.
+        distances are memoised in a dense matrix (dense backend only).
+    backend:
+        ``"dense"`` keeps the classic behaviour (optional dense memoisation
+        matrix); ``"lazy"`` never allocates O(n^2) state and instead serves
+        distances through the block-LRU backend of :mod:`repro.metric.lazy`;
+        ``"auto"`` (the default) picks dense for spaces that fit the dense
+        memoisation budget (``n <= cache_limit`` or an explicit
+        ``cache=True``) and lazy beyond it.
+    block_size, max_cached_blocks:
+        Geometry and capacity of the lazy backend's block cache (ignored by
+        the dense backend).  Peak extra memory of the lazy backend is
+        bounded by ``max_cached_blocks * block_size**2 * 8`` bytes plus one
+        evaluation chunk.
     """
 
     def __init__(
@@ -160,6 +176,9 @@ class PointCloudSpace(MetricSpace):
         labels: Optional[Sequence[int]] = None,
         cache: Optional[bool] = None,
         cache_limit: int = 4096,
+        backend: str = "auto",
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        max_cached_blocks: int = DEFAULT_MAX_BLOCKS,
     ):
         points = np.asarray(points, dtype=float)
         if points.ndim == 1:
@@ -178,12 +197,41 @@ class PointCloudSpace(MetricSpace):
                 "labels must have the same length as points "
                 f"({len(self.labels)} != {len(points)})"
             )
-        if cache is None:
-            cache = len(points) <= cache_limit
+        if backend not in ("auto", "dense", "lazy"):
+            raise InvalidParameterError(
+                f"backend must be 'auto', 'dense' or 'lazy', got {backend!r}"
+            )
+        if backend == "auto":
+            backend = "dense" if (cache is True or len(points) <= cache_limit) else "lazy"
+        self.backend = backend
         self._cache: Optional[np.ndarray] = None
-        if cache:
-            self._cache = np.full((len(points), len(points)), np.nan, dtype=float)
-            np.fill_diagonal(self._cache, 0.0)
+        self._lazy: Optional[LazyBlockBackend] = None
+        if backend == "lazy":
+            # Non-batchable callables (see _BATCHABLE_DISTANCE_FNS) cannot
+            # share block/scalar results bit-identically; they fall back to
+            # uncached per-pair evaluation, which is equally memory-bounded.
+            if id(distance_fn) in _BATCHABLE_DISTANCE_FNS:
+                self._lazy = LazyBlockBackend(
+                    self.points,
+                    distance_fn,
+                    block_size=block_size,
+                    max_blocks=max_cached_blocks,
+                )
+        else:
+            if cache is None:
+                cache = len(points) <= cache_limit
+            if cache:
+                self._cache = np.full((len(points), len(points)), np.nan, dtype=float)
+                np.fill_diagonal(self._cache, 0.0)
+
+    @property
+    def block_cache(self):
+        """The lazy backend's :class:`~repro.metric.lazy.BlockLRUCache` (or ``None``)."""
+        return None if self._lazy is None else self._lazy.cache
+
+    def backend_stats(self) -> dict:
+        """Backend counters for bench/report rows (empty for the dense backend)."""
+        return {} if self._lazy is None else self._lazy.stats()
 
     def __len__(self) -> int:
         return len(self.points)
@@ -198,6 +246,8 @@ class PointCloudSpace(MetricSpace):
         j = self._check_index(j)
         if i == j:
             return 0.0
+        if self._lazy is not None:
+            return self._lazy.distance(i, j)
         if self._cache is not None:
             cached = self._cache[i, j]
             if not np.isnan(cached):
@@ -214,6 +264,8 @@ class PointCloudSpace(MetricSpace):
             candidates = np.arange(len(self))
         else:
             candidates = self._check_index_array(list(candidates))
+        if self._lazy is not None:
+            return self._lazy.distances_from(i, candidates)
         # Vectorised path for the default Euclidean distance; falls back to the
         # generic per-pair loop for arbitrary callables.
         if self.distance_fn is euclidean_distance:
@@ -226,6 +278,10 @@ class PointCloudSpace(MetricSpace):
     def pair_distances(self, i, j) -> np.ndarray:
         i = self._check_index_array(i)
         j = self._check_index_array(j)
+        if self._lazy is not None:
+            out = self._lazy.pair_distances(i, j)
+            out[i == j] = 0.0
+            return out
         if id(self.distance_fn) not in _BATCHABLE_DISTANCE_FNS:
             return super().pair_distances(i, j)
         out = np.asarray(

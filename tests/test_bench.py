@@ -1,0 +1,178 @@
+"""Tests for the standing benchmark suite (`repro.bench`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.report import (
+    BENCH_SCHEMA_VERSION,
+    read_bench_report,
+    write_bench_report,
+)
+from repro.bench.runner import measure_cell, run_cells
+from repro.bench.specs import (
+    BENCH_SUITES,
+    BenchCell,
+    bench_spec_names,
+    get_bench_spec,
+    plan_cells,
+)
+from repro.bench.__main__ import main as bench_main
+from repro.exceptions import InvalidParameterError
+
+
+class TestPlanning:
+    def test_suites_and_specs_registered(self):
+        assert BENCH_SUITES == ("scaling", "batch")
+        assert set(bench_spec_names("scaling")) == {
+            "count_max",
+            "greedy_kcenter",
+            "nn_scan",
+        }
+        assert set(bench_spec_names("batch")) == {
+            "count_max_batch",
+            "pair_distances_batch",
+        }
+
+    def test_plan_is_deterministic(self):
+        a = plan_cells("scaling", quick=True, n_seeds=2, base_seed=5)
+        b = plan_cells("scaling", quick=True, n_seeds=2, base_seed=5)
+        assert a == b
+        assert len({cell.seed for cell in a}) == 2
+
+    def test_quick_grids_cap_scale(self):
+        for cell in plan_cells("scaling", quick=True):
+            assert cell.params["n"] <= 2000
+
+    def test_full_grid_reaches_50k_on_lazy_only(self):
+        cells = plan_cells("scaling", quick=False)
+        large = [c for c in cells if c.params["n"] == 50000]
+        assert large and all(c.params["backend"] == "lazy" for c in large)
+        dense_ns = {c.params["n"] for c in cells if c.params["backend"] == "dense"}
+        assert max(dense_ns) <= 5000
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            plan_cells("latency")
+        with pytest.raises(InvalidParameterError):
+            plan_cells("scaling", n_seeds=0)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(KeyError):
+            get_bench_spec("does_not_exist")
+
+
+class TestRunner:
+    def test_measure_cell_records_metrics_and_costs(self):
+        cell = BenchCell(
+            "scaling", "greedy_kcenter", {"n": 150, "backend": "lazy", "k": 3}, seed=0
+        )
+        outcome = measure_cell(cell)
+        assert outcome.metrics["k"] == 3
+        assert outcome.metrics["objective"] > 0
+        assert outcome.wall_seconds > 0
+        assert outcome.peak_traced_mb > 0
+        assert outcome.rss_max_mb > 0
+
+    def test_metrics_deterministic_across_repeats(self):
+        cell = BenchCell(
+            "scaling",
+            "count_max",
+            {"n": 200, "backend": "lazy", "sample_size": 40},
+            seed=7,
+        )
+        first, second = measure_cell(cell), measure_cell(cell)
+        assert first.metrics == second.metrics
+        assert first.metrics["winner_is_true_farthest"] is True
+
+    def test_lazy_and_dense_cells_agree_on_seeded_metrics(self):
+        outcomes = {}
+        for backend in ("lazy", "dense"):
+            cell = BenchCell(
+                "scaling",
+                "count_max",
+                {"n": 300, "backend": backend, "sample_size": 50},
+                seed=3,
+            )
+            outcomes[backend] = measure_cell(cell).metrics
+        assert outcomes["lazy"]["queries"] == outcomes["dense"]["queries"]
+        assert (
+            outcomes["lazy"]["winner_is_true_farthest"]
+            == outcomes["dense"]["winner_is_true_farthest"]
+        )
+
+    def test_batch_cells_split_timings_out_of_metrics(self):
+        cell = BenchCell("batch", "count_max_batch", {"n": 120}, seed=0)
+        outcome = measure_cell(cell)
+        assert outcome.metrics["outputs_identical"] is True
+        # Stopwatch numbers live in `measured`, never in the deterministic
+        # metrics, so regenerating an artifact cannot produce a metrics diff
+        # without a behaviour change.
+        assert outcome.metrics.keys() == {"outputs_identical"}
+        assert outcome.measured["speedup"] > 0
+        assert outcome.measured["scalar_seconds"] > 0
+
+    def test_scaling_cells_have_no_internal_stopwatches(self):
+        cell = BenchCell(
+            "scaling", "nn_scan", {"n": 100, "backend": "lazy", "n_queries": 2}, seed=0
+        )
+        assert measure_cell(cell).measured == {}
+
+
+class TestReport:
+    def _outcomes(self):
+        cells = [
+            BenchCell("scaling", "nn_scan", {"n": 100, "backend": b, "n_queries": 2}, 0)
+            for b in ("lazy", "dense")
+        ]
+        return run_cells(cells)
+
+    def test_written_artifact_round_trips(self, tmp_path):
+        outcomes = self._outcomes()
+        path = write_bench_report(tmp_path, "scaling", outcomes, quick=True)
+        assert path.name == "BENCH_scaling.json"
+        payload = read_bench_report(path)
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert payload["suite"] == "scaling"
+        assert payload["quick"] is True
+        assert payload["n_cells"] == 2
+        for row in payload["cells"]:
+            assert set(row) == {
+                "algorithm",
+                "params",
+                "seed",
+                "metrics",
+                "measured",
+                "wall_seconds",
+                "peak_traced_mb",
+                "rss_max_mb",
+            }
+        # The artifact must be plain JSON (json_safe applied to all metrics).
+        json.dumps(payload)
+
+    def test_artifact_write_is_atomic(self, tmp_path):
+        outcomes = self._outcomes()
+        write_bench_report(tmp_path, "scaling", outcomes, quick=False)
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestCli:
+    def test_run_quick_writes_scaling_artifact(self, tmp_path, capsys):
+        rc = bench_main(
+            ["run", "--quick", "--suite", "scaling", "--out-dir", str(tmp_path), "--quiet"]
+        )
+        assert rc == 0
+        payload = read_bench_report(tmp_path / "BENCH_scaling.json")
+        assert payload["quick"] is True
+        assert payload["n_cells"] == 9  # 3 algorithms x (2 lazy + 1 dense) cells
+        assert "BENCH_scaling.json" in capsys.readouterr().out
+
+    def test_list_shows_cells(self, capsys):
+        assert bench_main(["list", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "suite scaling:" in out and "greedy_kcenter" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert bench_main([]) == 2

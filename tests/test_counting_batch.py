@@ -1,9 +1,14 @@
-"""Tests for batched query accounting (``record_batch``) and ``summary``."""
+"""Tests for batched query accounting (``record_batch``), budget exhaustion
+mid-batch, ``cached_batch_answers`` hit accounting, and ``summary``."""
 
+import numpy as np
 import pytest
 
 from repro.exceptions import InvalidParameterError, QueryBudgetExceededError
+from repro.metric.space import PointCloudSpace
+from repro.oracles.base import cached_batch_answers
 from repro.oracles.counting import QueryCounter
+from repro.oracles.quadruplet import DistanceQuadrupletOracle
 
 
 def test_record_batch_matches_scalar_loop():
@@ -55,11 +60,111 @@ def test_record_batch_budget_accounts_whole_batch_before_raising():
     assert counter.total_queries == 8
 
 
+def test_record_batch_budget_exhaustion_mid_batch_exact_counts():
+    # The budget runs out inside the second batch; the whole batch is still
+    # accounted atomically, so the counts at raise time are exact and
+    # reproducible: 7 prior + 6 new = 13 total, 7 + (6 - 2 cached) = 11 charged.
+    counter = QueryCounter(budget=10)
+    counter.record_batch(7, tag="assign")
+    with pytest.raises(QueryBudgetExceededError) as excinfo:
+        counter.record_batch(6, n_cached=2, tag="assign")
+    assert counter.total_queries == 13
+    assert counter.charged_queries == 11
+    assert counter.cached_queries == 2
+    assert counter.by_tag == {"assign": 13}
+    assert excinfo.value.counter is counter
+    assert counter.remaining == 0
+
+
+def test_record_batch_budget_exhaustion_exactly_at_boundary_does_not_raise():
+    counter = QueryCounter(budget=10)
+    counter.record_batch(10)
+    assert counter.charged_queries == 10
+    assert counter.remaining == 0
+    with pytest.raises(QueryBudgetExceededError):
+        counter.record_batch(1)
+
+
+def test_oracle_compare_batch_budget_exhaustion_keeps_exact_accounting():
+    # Through a real oracle: a compare_batch that overruns the budget raises
+    # *after* recording the whole batch and after caching the fresh answers,
+    # so the overrun state is inspectable and consistent.
+    space = PointCloudSpace(np.random.default_rng(0).normal(size=(20, 2)))
+    counter = QueryCounter(budget=10)
+    oracle = DistanceQuadrupletOracle(space, counter=counter)
+    a, b = np.triu_indices(8, k=1)  # 28 distinct pairs -> 16 distinct quads below
+    a, b = a[:16], b[:16]
+    c = np.full(16, 18)
+    d = np.full(16, 19)
+    with pytest.raises(QueryBudgetExceededError):
+        oracle.compare_batch(a, b, c, d)
+    assert counter.total_queries == 16
+    assert counter.charged_queries == 16
+    assert counter.cached_queries == 0
+    assert len(oracle._answer_cache) == 16
+
+
 def test_record_batch_budget_ignores_cached_by_default():
     counter = QueryCounter(budget=3)
     counter.record_batch(5, n_cached=3)
     assert counter.charged_queries == 2
     assert counter.remaining == 1
+
+
+class TestCachedBatchAnswers:
+    def test_within_batch_repeats_count_as_hits(self):
+        cache: dict = {}
+        codes = np.array([5, 7, 5, 9, 7, 5], dtype=np.int64)
+        seen_miss_positions = []
+
+        def fresh(miss):
+            seen_miss_positions.append(miss.tolist())
+            return np.array([True, False, True])[: len(miss)]
+
+        answers, n_cached = cached_batch_answers(cache, codes, fresh)
+        # Fresh answers are requested once per distinct code, at the position
+        # of its first occurrence, in batch order.
+        assert seen_miss_positions == [[0, 1, 3]]
+        assert n_cached == 3  # the three within-batch repeats
+        assert answers.tolist() == [True, False, True, True, False, True]
+        assert cache == {5: True, 7: False, 9: True}
+
+    def test_cross_call_hits_are_all_cached(self):
+        cache: dict = {}
+        codes = np.array([1, 2, 3], dtype=np.int64)
+        cached_batch_answers(cache, codes, lambda miss: np.ones(len(miss), dtype=bool))
+        calls = []
+        answers, n_cached = cached_batch_answers(
+            cache, codes, lambda miss: calls.append(miss)
+        )
+        assert n_cached == 3
+        assert calls == []  # fully served from cache; compute_fresh never runs
+        assert answers.tolist() == [True, True, True]
+
+    def test_mixed_batch_counts_only_served_answers_as_cached(self):
+        cache = {10: False}
+        codes = np.array([10, 11, 10, 12], dtype=np.int64)
+        answers, n_cached = cached_batch_answers(
+            cache, codes, lambda miss: np.zeros(len(miss), dtype=bool)
+        )
+        # Two hits on code 10 plus nothing else: 11 and 12 are fresh.
+        assert n_cached == 2
+        assert answers.tolist() == [False, False, False, False]
+
+    def test_oracle_hit_accounting_matches_cached_batch_answers(self):
+        space = PointCloudSpace(np.random.default_rng(1).normal(size=(12, 2)))
+        counter = QueryCounter()
+        oracle = DistanceQuadrupletOracle(space, counter=counter)
+        a = np.array([0, 0, 0, 1])
+        b = np.array([1, 1, 1, 2])
+        c = np.array([2, 2, 2, 3])
+        d = np.array([3, 3, 3, 4])  # three identical quads + one distinct
+        oracle.compare_batch(a, b, c, d)
+        assert counter.total_queries == 4
+        assert counter.cached_queries == 2  # within-batch repeats of the first quad
+        assert counter.charged_queries == 2
+        oracle.compare_batch(a[:1], b[:1], c[:1], d[:1])
+        assert counter.cached_queries == 3  # cross-call repeat is also a hit
 
 
 def test_summary_without_tags():

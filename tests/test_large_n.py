@@ -1,0 +1,64 @@
+"""Acceptance test: n = 50,000 is a first-class workload on the lazy backend.
+
+Runs Count-Max (through a quadruplet oracle, i.e. scattered pair batches)
+and greedy k-center (row sweeps) over a 50,000-record space and asserts the
+peak Python-allocated memory during the runs is bounded by the block cache
+plus an O(n) allowance — nowhere near the ~20 GB a dense distance matrix
+would need.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+
+from repro.kcenter.greedy_exact import greedy_kcenter_exact
+from repro.maximum.count_max import count_max
+from repro.metric.space import PointCloudSpace
+from repro.oracles.base import distance_comparison_view
+from repro.oracles.counting import QueryCounter
+from repro.oracles.quadruplet import DistanceQuadrupletOracle
+
+N = 50_000
+
+
+def test_count_max_and_kcenter_at_50k_bounded_by_block_cache():
+    points = np.random.default_rng(0).uniform(size=(N, 4))
+    space = PointCloudSpace(points, backend="lazy", block_size=256, max_cached_blocks=8)
+    assert space.backend == "lazy"
+    assert space._cache is None  # no dense O(n^2) state, ever
+
+    tracemalloc.start()
+    try:
+        # Count-Max over a 300-record sample viewed as "farthest from record 0":
+        # ~45k scattered quadruplet queries against the full 50k space.
+        oracle = DistanceQuadrupletOracle(space, counter=QueryCounter(), cache_answers=False)
+        view = distance_comparison_view(oracle, query=0)
+        sample = list(range(1, N, N // 300))[:300]
+        winner = count_max(sample, view, seed=1)
+
+        # Greedy k-center: k row sweeps over all 50k records.
+        result = greedy_kcenter_exact(space, k=6, seed=2)
+        peak_bytes = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+
+    # Exact-noise Count-Max over the sample must recover the true farthest.
+    assert winner == space.farthest_from(0, sample)
+    assert len(result.centers) == 6
+    assert oracle.counter.charged_queries == len(sample) * (len(sample) - 1) // 2
+
+    # Peak extra memory is bounded by the block cache capacity plus an O(n)
+    # allowance for index/assignment arrays -- a dense matrix would be
+    # N * N * 8 bytes = ~20 GB, over 300x this bound.
+    cache_capacity = space.block_cache.capacity_bytes
+    assert cache_capacity == 8 * 256 * 256 * 8
+    bound_bytes = cache_capacity + 1024 * N
+    assert peak_bytes < bound_bytes, (
+        f"peak {peak_bytes / 1e6:.1f} MB exceeds block-cache bound "
+        f"{bound_bytes / 1e6:.1f} MB"
+    )
+    # The cache really was exercised and never overfilled.
+    assert len(space.block_cache) <= space.block_cache.max_blocks
+    assert space.block_cache.current_bytes <= cache_capacity
