@@ -21,6 +21,9 @@ run_packaging() {
 
 run_tests() {
     echo "== tests: PYTHONPATH=src python -m pytest -x -q --ignore=benchmarks =="
+    # Includes tests/test_service.py (async service layer); those tests carry
+    # their own per-test asyncio timeout guard, so a wedged event loop fails
+    # fast instead of hanging the suite.
     python -m pytest -x -q --ignore=benchmarks
 }
 
@@ -39,6 +42,8 @@ run_bench() {
     echo "== bench smoke: pytest benchmarks -q -k 'smoke or batch' =="
     python -m pytest benchmarks -q -s -k "smoke or batch" --benchmark-disable
     echo "== bench suite: python -m repro.bench run --quick =="
+    # Writes BENCH_scaling.json + BENCH_batch.json + BENCH_service.json (the
+    # crowd-service throughput/latency suite) at the repo root.
     python -m repro.bench run --quick
 }
 

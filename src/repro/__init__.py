@@ -17,7 +17,11 @@ Oracle" (Addanki, Galhotra, Saha — PVLDB 14(9), 2021).  The library provides:
   caching (``python -m repro.experiments sweep --quick --seeds 4 --jobs 4``),
 * a standing benchmark suite (:mod:`repro.bench`) emitting the repo's
   machine-readable performance trajectory
-  (``python -m repro.bench run --quick`` writes ``BENCH_*.json``).
+  (``python -m repro.bench run --quick`` writes ``BENCH_*.json``),
+* an asyncio crowd-oracle service (:mod:`repro.service`) that micro-batches
+  the queries of many concurrent algorithm sessions onto the batched oracle
+  stack, with per-session budgets, simulated crowd latency and backpressure
+  (``python -m repro.service`` is a load-driver demo).
 
 Quickstart
 ----------
@@ -41,6 +45,7 @@ from repro import (
     metric,
     neighbors,
     oracles,
+    service,
 )
 from repro.exceptions import (
     ClusteringError,
@@ -57,6 +62,7 @@ __version__ = "1.0.0"
 __all__ = [
     "metric",
     "oracles",
+    "service",
     "maximum",
     "neighbors",
     "kcenter",

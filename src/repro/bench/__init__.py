@@ -1,10 +1,12 @@
 """Standing benchmark suite: the repo's machine-readable performance record.
 
-Every PR can regenerate two JSON artifacts at the repository root —
+Every PR can regenerate three JSON artifacts at the repository root —
 ``BENCH_scaling.json`` (wall-clock and peak memory per (algorithm, n,
-backend) cell, up to n = 50,000 on the lazy metric backend) and
-``BENCH_batch.json`` (batched-versus-scalar speedups of the oracle layer) —
-with one command::
+backend) cell, up to n = 50,000 on the lazy metric backend),
+``BENCH_batch.json`` (batched-versus-scalar speedups of the oracle layer)
+and ``BENCH_service.json`` (crowd-service micro-batching throughput and
+latency percentiles versus concurrent sessions x batch window) — with one
+command::
 
     python -m repro.bench run --quick
 

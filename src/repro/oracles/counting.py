@@ -9,7 +9,9 @@ the persistence cache, and optionally enforces a hard budget.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
+
+import numpy as np
 
 from repro.exceptions import InvalidParameterError, QueryBudgetExceededError
 
@@ -66,24 +68,50 @@ class QueryCounter:
             )
 
     def record_batch(
-        self, n: int, n_cached: int = 0, tag: Optional[str] = None
+        self,
+        n: int,
+        n_cached: int = 0,
+        tag: Optional[str] = None,
+        cached_mask: Optional[Sequence[bool]] = None,
     ) -> None:
         """Record *n* oracle queries issued as one batch.
 
         Equivalent to ``n`` calls to :meth:`record`, of which *n_cached* were
         served from a persistence cache, but with O(1) bookkeeping cost.  The
-        batch is accounted atomically: when the batch pushes the charged count
-        past the budget, all *n* queries are recorded before
-        :class:`~repro.exceptions.QueryBudgetExceededError` is raised,
-        whereas the scalar path stops at the first query over budget — after
-        an overrun the recorded totals may exceed the scalar path's by up to
-        the batch size.
+        equivalence holds through budget overruns too: when the batch pushes
+        the charged count past the budget, only the queries up to and
+        including the first over-budget one are recorded — ``total``,
+        ``charged``, ``cached`` and ``by_tag`` all clamp to that prefix, so
+        the counter state at raise time matches what the scalar loop would
+        have left behind — before
+        :class:`~repro.exceptions.QueryBudgetExceededError` is raised.
+
+        Locating that first over-budget query needs the in-batch positions of
+        the cache hits.  Pass them as *cached_mask* (a boolean sequence in
+        query order, ``True`` = served from cache) for exact scalar-order
+        clamping; without a mask the cache hits are assumed to precede the
+        charged queries, the convention that records the largest
+        scalar-consistent prefix.
 
         Cached answers inside a batch are *not* silently dropped: they are
         recorded in ``total_queries`` / ``cached_queries`` exactly like
         scalar cache hits, so repeat-query statistics survive batching.
         """
         n = int(n)
+        mask = None
+        if cached_mask is not None:
+            mask = np.asarray(cached_mask, dtype=bool).reshape(-1)
+            if len(mask) != n:
+                raise InvalidParameterError(
+                    f"cached_mask must have length {n}, got {len(mask)}"
+                )
+            mask_cached = int(np.count_nonzero(mask))
+            if n_cached not in (0, mask_cached):
+                raise InvalidParameterError(
+                    f"n_cached={n_cached} disagrees with cached_mask "
+                    f"({mask_cached} cached entries)"
+                )
+            n_cached = mask_cached
         n_cached = int(n_cached)
         if n < 0:
             raise InvalidParameterError(f"batch size must be non-negative, got {n}")
@@ -93,18 +121,62 @@ class QueryCounter:
             )
         if n == 0:
             return
-        self.total_queries += n
-        self.cached_queries += n_cached
         charged = n if self.charge_cached else n - n_cached
-        self.charged_queries += charged
-        if tag is not None:
-            self.by_tag[tag] = self.by_tag.get(tag, 0) + n
-        if self.budget is not None and self.charged_queries > self.budget:
+        if self.budget is not None and self.charged_queries + charged > self.budget:
+            self._record_overrun_prefix(n, n_cached, tag, mask)
             raise QueryBudgetExceededError(
                 f"query budget of {self.budget} exceeded "
                 f"({self.charged_queries} charged queries)",
                 counter=self,
             )
+        self.total_queries += n
+        self.cached_queries += n_cached
+        self.charged_queries += charged
+        if tag is not None:
+            self.by_tag[tag] = self.by_tag.get(tag, 0) + n
+
+    def _record_overrun_prefix(
+        self,
+        n: int,
+        n_cached: int,
+        tag: Optional[str],
+        mask: Optional[np.ndarray],
+    ) -> None:
+        """Record the batch prefix the scalar loop would have seen at raise time.
+
+        The scalar loop raises while processing the first query that lifts
+        the charged count above the budget; that query itself is recorded
+        (exactly as :meth:`record` increments before raising), everything
+        after it is not.
+        """
+        allowed = self.budget - self.charged_queries
+        if mask is not None:
+            charge_flags = (
+                np.ones(n, dtype=np.int64) if self.charge_cached else (~mask).astype(np.int64)
+            )
+            cum = np.cumsum(charge_flags)
+            # First position where the running charged count exceeds `allowed`.
+            stop = int(np.searchsorted(cum, allowed, side="right"))
+            n_recorded = stop + 1
+            cached_recorded = int(np.count_nonzero(mask[:n_recorded]))
+        elif allowed < 0:
+            # Already over budget: the very first query raises, whatever it is
+            # (cached-first convention makes it a cache hit when one exists).
+            n_recorded = 1
+            cached_recorded = min(n_cached, 1)
+        elif self.charge_cached:
+            n_recorded = allowed + 1
+            cached_recorded = min(n_cached, n_recorded)
+        else:
+            n_recorded = n_cached + allowed + 1
+            cached_recorded = n_cached
+        self.total_queries += n_recorded
+        self.cached_queries += cached_recorded
+        self.charged_queries += (
+            n_recorded if self.charge_cached else n_recorded - cached_recorded
+        )
+        if tag is not None:
+            self.by_tag[tag] = self.by_tag.get(tag, 0) + n_recorded
 
     def reset(self) -> None:
         """Zero all counters (the budget is kept)."""

@@ -28,6 +28,27 @@ from repro.exceptions import InvalidParameterError
 from repro.rng import SeedLike, ensure_rng
 
 
+def _check_batch_lengths(left, right, keys) -> tuple:
+    """Validate one ``answer_batch`` call; returns (left, right) as float arrays.
+
+    Every implementation — base loop and vectorised overrides alike — must
+    reject length mismatches: the base loop's ``zip`` would otherwise
+    silently truncate to the shortest input (historically, a *keys* array
+    shorter than the quantities dropped the tail queries without a trace),
+    and the vectorised paths would broadcast or mis-persist.  Empty batches
+    are valid and answer with an empty array.
+    """
+    left = np.asarray(left, dtype=float).reshape(-1)
+    right = np.asarray(right, dtype=float).reshape(-1)
+    n_keys = len(keys)
+    if not (len(left) == len(right) == n_keys):
+        raise InvalidParameterError(
+            "answer_batch inputs must have equal lengths, got "
+            f"left={len(left)}, right={len(right)}, keys={n_keys}"
+        )
+    return left, right
+
+
 class NoiseModel:
     """Base class for noise models.
 
@@ -53,10 +74,11 @@ class NoiseModel:
         (and, for persistent models, exactly the internal random draws, in
         the same order) that a loop of scalar ``answer`` calls over the same
         queries would produce.  The base implementation is that loop;
-        subclasses override it with vectorised versions.
+        subclasses override it with vectorised versions.  Mismatched input
+        lengths raise :class:`~repro.exceptions.InvalidParameterError` on
+        every implementation.
         """
-        left = np.asarray(left, dtype=float)
-        right = np.asarray(right, dtype=float)
+        left, right = _check_batch_lengths(left, right, keys)
         return np.fromiter(
             (self.answer(float(lo), float(hi), k) for lo, hi, k in zip(left, right, keys)),
             dtype=bool,
@@ -80,7 +102,8 @@ class ExactNoise(NoiseModel):
         return self._true_answer(left, right)
 
     def answer_batch(self, left, right, keys) -> np.ndarray:
-        return np.asarray(left, dtype=float) <= np.asarray(right, dtype=float)
+        left, right = _check_batch_lengths(left, right, keys)
+        return left <= right
 
     def __repr__(self) -> str:
         return "ExactNoise()"
@@ -153,8 +176,7 @@ class AdversarialNoise(NoiseModel):
         # back to the scalar loop, preserving draw order.
         if self.adversary != "lie":
             return super().answer_batch(left, right, keys)
-        left = np.asarray(left, dtype=float)
-        right = np.asarray(right, dtype=float)
+        left, right = _check_batch_lengths(left, right, keys)
         lo = np.minimum(left, right)
         hi = np.maximum(left, right)
         if np.any(lo < 0):
@@ -239,8 +261,7 @@ class ProbabilisticNoise(NoiseModel):
         return self._persisted[key]
 
     def answer_batch(self, left, right, keys) -> np.ndarray:
-        left = np.asarray(left, dtype=float)
-        right = np.asarray(right, dtype=float)
+        left, right = _check_batch_lengths(left, right, keys)
         truth = left <= right
         m = len(truth)
         if not self.persistent:

@@ -115,9 +115,12 @@ class DistanceQuadrupletOracle(BaseQuadrupletOracle):
         Canonicalisation, key encoding, ground-truth distance evaluation and
         noise are all array operations; only the answer-cache lookups walk a
         dict.  Answers, cache contents, noise draws and query accounting
-        totals are identical to a loop of scalar calls in array order, with
-        one difference: the counter records the whole batch at once, so a
-        budget overrun raises after the batch instead of mid-stream.
+        totals are identical to a loop of scalar calls in array order.  On a
+        budget overrun the counter clamps to the scalar prefix (the cached
+        positions are passed through, so the raise point matches the loop's
+        exactly); the answer cache and the noise model, however, have already
+        seen the whole batch by then, so their state covers every query, not
+        just the recorded prefix.
         """
         a, b, c, d = np.broadcast_arrays(
             *(np.asarray(x, dtype=np.int64).reshape(-1) for x in (a, b, c, d))
@@ -161,10 +164,12 @@ class DistanceQuadrupletOracle(BaseQuadrupletOracle):
                 d_right = self.space.pair_distances(R1a[miss], R2a[miss])
                 return self.noise.answer_batch(d_left, d_right, codes_a[miss])
 
-            answers, n_cached = cached_batch_answers(
+            answers, n_cached, cached_mask = cached_batch_answers(
                 self._answer_cache, codes_a, fresh_answers
             )
-            self.counter.record_batch(len(codes_a), n_cached=n_cached, tag=self.tag)
+            self.counter.record_batch(
+                len(codes_a), n_cached=n_cached, tag=self.tag, cached_mask=cached_mask
+            )
         out[active] = answers ^ flipped[active]
         return out
 

@@ -1,0 +1,45 @@
+"""Async crowd-oracle service: micro-batched query serving for many sessions.
+
+The paper's algorithms assume a crowd that answers comparison and quadruplet
+queries with latency; this package provides the serving layer that makes
+that practical at scale.  A :class:`~repro.service.core.CrowdOracleService`
+coalesces the queries of many concurrent algorithm *sessions* into
+micro-batches (flushed on a size or time trigger), dispatches them through
+the existing batched oracle stack, simulates seeded crowd latency/jitter per
+round trip, enforces per-session
+:class:`~repro.oracles.counting.QueryCounter` budgets, and applies
+backpressure through a bounded submission queue plus an in-flight batch cap.
+
+Synchronous algorithms run unchanged through
+:class:`~repro.service.adapter.ServiceOracleAdapter` subclasses, which
+conform to the library's oracle interfaces; a single session's seeded run is
+bit-identical to calling the backend oracle directly.  ``python -m
+repro.service`` is a self-contained load driver demonstrating the
+throughput win of micro-batching over one-query-per-roundtrip serving.
+"""
+
+from repro.service.adapter import (
+    ServiceComparisonAdapter,
+    ServiceOracleAdapter,
+    ServiceQuadrupletAdapter,
+    ServiceRuntime,
+)
+from repro.service.core import (
+    CrowdOracleService,
+    ServiceConfig,
+    ServiceSession,
+    ServiceStats,
+)
+from repro.service.load import run_comparison_load
+
+__all__ = [
+    "CrowdOracleService",
+    "ServiceConfig",
+    "ServiceSession",
+    "ServiceStats",
+    "ServiceRuntime",
+    "ServiceOracleAdapter",
+    "ServiceComparisonAdapter",
+    "ServiceQuadrupletAdapter",
+    "run_comparison_load",
+]

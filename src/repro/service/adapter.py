@@ -1,0 +1,147 @@
+"""Synchronous bridge: run existing algorithms unchanged against the service.
+
+Two pieces:
+
+* :class:`ServiceRuntime` owns an event loop on a daemon thread and runs a
+  :class:`~repro.service.core.CrowdOracleService` on it, so synchronous
+  callers — possibly many, each on its own thread — can block on service
+  queries while the loop keeps multiplexing everyone's micro-batches.
+* :class:`ServiceOracleAdapter` and its two concrete classes
+  (:class:`ServiceComparisonAdapter`, :class:`ServiceQuadrupletAdapter`)
+  conform to :class:`~repro.oracles.base.BaseComparisonOracle` /
+  :class:`~repro.oracles.base.BaseQuadrupletOracle`, so every algorithm in
+  the library runs against the service without modification.  A single
+  session's queries flow through the service in call order, which keeps
+  seeded runs bit-identical to the direct oracle path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+import numpy as np
+
+from repro.oracles.base import BaseComparisonOracle, BaseQuadrupletOracle
+from repro.service.core import CrowdOracleService, ServiceSession
+
+
+class ServiceRuntime:
+    """Run a :class:`CrowdOracleService` on a background event-loop thread.
+
+    Usable as a context manager::
+
+        service = CrowdOracleService(comparison=oracle)
+        with ServiceRuntime(service) as runtime:
+            session = service.open_session()
+            adapter = ServiceComparisonAdapter(runtime, session)
+            winner = count_max(items, adapter, seed=0)
+
+    Parameters
+    ----------
+    service:
+        The service to run; :meth:`start` awaits ``service.start()`` on the
+        loop thread and :meth:`stop` awaits ``service.stop()``.
+    default_timeout:
+        Seconds a synchronous caller waits for any one submitted query
+        before a ``TimeoutError`` — a guard against a wedged loop, not a
+        scheduling knob.  ``None`` waits forever.
+    """
+
+    def __init__(
+        self, service: CrowdOracleService, default_timeout: Optional[float] = None
+    ):
+        self.service = service
+        self.default_timeout = default_timeout
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def running(self) -> bool:
+        return self._loop is not None
+
+    def start(self) -> "ServiceRuntime":
+        """Start the loop thread and the service; idempotent."""
+        if self._loop is not None:
+            return self
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(
+            target=loop.run_forever, name="repro-service-loop", daemon=True
+        )
+        thread.start()
+        self._loop = loop
+        self._thread = thread
+        self.run(self.service.start())
+        return self
+
+    def stop(self) -> None:
+        """Stop the service, then the loop and its thread; idempotent."""
+        if self._loop is None:
+            return
+        self.run(self.service.stop())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def run(self, coro, timeout: Optional[float] = None):
+        """Run *coro* on the service loop, blocking the calling thread."""
+        if self._loop is None:
+            raise RuntimeError("ServiceRuntime is not started")
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout if timeout is not None else self.default_timeout)
+
+    def __enter__(self) -> "ServiceRuntime":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class ServiceOracleAdapter:
+    """Shared plumbing of the synchronous service-backed oracle adapters.
+
+    Holds the runtime, the session, and exposes the session's
+    :class:`~repro.oracles.counting.QueryCounter` as ``counter`` — the
+    attribute every oracle consumer in the library relies on.  Concrete
+    query methods live on :class:`ServiceComparisonAdapter` and
+    :class:`ServiceQuadrupletAdapter`.
+    """
+
+    def __init__(self, runtime: ServiceRuntime, session: ServiceSession):
+        self.runtime = runtime
+        self.session = session
+        self.counter = session.counter
+
+    def _run(self, coro):
+        return self.runtime.run(coro)
+
+
+class ServiceComparisonAdapter(ServiceOracleAdapter, BaseComparisonOracle):
+    """Synchronous :class:`BaseComparisonOracle` over a service session."""
+
+    def __len__(self) -> int:
+        # Algorithms use len(oracle) as "number of records"; delegate to the
+        # backend so the adapter is a drop-in for the concrete oracle.
+        return len(self.session.service.comparison)
+
+    def compare(self, i: int, j: int) -> bool:
+        return bool(self._run(self.session.compare(int(i), int(j))))
+
+    def compare_batch(self, i, j) -> np.ndarray:
+        return self._run(self.session.compare_batch(i, j))
+
+
+class ServiceQuadrupletAdapter(ServiceOracleAdapter, BaseQuadrupletOracle):
+    """Synchronous :class:`BaseQuadrupletOracle` over a service session."""
+
+    def __len__(self) -> int:
+        return len(self.session.service.quadruplet)
+
+    def compare(self, a: int, b: int, c: int, d: int) -> bool:
+        return bool(self._run(self.session.quadruplet(int(a), int(b), int(c), int(d))))
+
+    def compare_batch(self, a, b, c, d) -> np.ndarray:
+        return self._run(self.session.quadruplet_batch(a, b, c, d))

@@ -25,7 +25,7 @@ from repro.exceptions import InvalidParameterError
 
 class TestPlanning:
     def test_suites_and_specs_registered(self):
-        assert BENCH_SUITES == ("scaling", "batch")
+        assert BENCH_SUITES == ("scaling", "batch", "service")
         assert set(bench_spec_names("scaling")) == {
             "count_max",
             "greedy_kcenter",
@@ -35,6 +35,11 @@ class TestPlanning:
             "count_max_batch",
             "pair_distances_batch",
         }
+        assert set(bench_spec_names("service")) == {"service_throughput"}
+
+    def test_service_quick_grid_keeps_the_16_session_point(self):
+        cells = plan_cells("service", quick=True)
+        assert {c.params["sessions"] for c in cells} == {16}
 
     def test_plan_is_deterministic(self):
         a = plan_cells("scaling", quick=True, n_seeds=2, base_seed=5)
@@ -119,6 +124,24 @@ class TestRunner:
             "scaling", "nn_scan", {"n": 100, "backend": "lazy", "n_queries": 2}, seed=0
         )
         assert measure_cell(cell).measured == {}
+
+    def test_service_cell_reports_speedup_and_identical_outputs(self):
+        cell = BenchCell(
+            "service",
+            "service_throughput",
+            {
+                "sessions": 4,
+                "batch_window_ms": 2.0,
+                "queries_per_session": 10,
+                "latency_ms": 1.0,
+            },
+            seed=0,
+        )
+        outcome = measure_cell(cell)
+        assert outcome.metrics["outputs_identical"] is True
+        assert outcome.metrics["n_queries"] == 40
+        assert outcome.measured["speedup_vs_roundtrip"] > 0
+        assert outcome.measured["latency_p95_ms"] >= 0
 
 
 class TestReport:

@@ -51,19 +51,20 @@ def test_record_batch_validates_arguments():
         counter.record_batch(2, n_cached=-1)
 
 
-def test_record_batch_budget_accounts_whole_batch_before_raising():
+def test_record_batch_budget_overrun_clamps_to_scalar_prefix():
     counter = QueryCounter(budget=5)
     with pytest.raises(QueryBudgetExceededError):
         counter.record_batch(8)
-    # The batch is recorded atomically before the error fires.
-    assert counter.charged_queries == 8
-    assert counter.total_queries == 8
+    # Only the queries up to and including the first over-budget one are
+    # recorded, exactly as a loop of scalar record() calls would have left.
+    assert counter.charged_queries == 6
+    assert counter.total_queries == 6
 
 
 def test_record_batch_budget_exhaustion_mid_batch_exact_counts():
-    # The budget runs out inside the second batch; the whole batch is still
-    # accounted atomically, so the counts at raise time are exact and
-    # reproducible: 7 prior + 6 new = 13 total, 7 + (6 - 2 cached) = 11 charged.
+    # The budget runs out at the last query of the second batch; the counts at
+    # raise time are exact and reproducible: 7 prior + 6 new = 13 total,
+    # 7 + (6 - 2 cached) = 11 charged = budget + 1, matching the scalar loop.
     counter = QueryCounter(budget=10)
     counter.record_batch(7, tag="assign")
     with pytest.raises(QueryBudgetExceededError) as excinfo:
@@ -76,6 +77,60 @@ def test_record_batch_budget_exhaustion_mid_batch_exact_counts():
     assert counter.remaining == 0
 
 
+def _scalar_overrun_reference(budget, cached_flags, charge_cached=False, tag=None):
+    """Run the scalar record() loop until it raises; returns the counter."""
+    counter = QueryCounter(budget=budget, charge_cached=charge_cached)
+    with pytest.raises(QueryBudgetExceededError):
+        for cached in cached_flags:
+            counter.record(cached=bool(cached), tag=tag)
+    return counter
+
+
+@pytest.mark.parametrize("charge_cached", [False, True])
+def test_record_batch_overrun_equals_scalar_loop_with_mask(charge_cached):
+    # Randomised cached/charged interleavings: the batched overrun state must
+    # equal the scalar loop's raise-time state exactly, for any hit pattern.
+    rng = np.random.default_rng(42)
+    for trial in range(25):
+        n = int(rng.integers(2, 40))
+        mask = rng.random(n) < 0.4
+        charged_total = n if charge_cached else int(n - mask.sum())
+        if charged_total == 0:
+            continue
+        budget = int(rng.integers(0, charged_total))  # guarantees an overrun
+        scalar = _scalar_overrun_reference(budget, mask, charge_cached, tag="t")
+        batched = QueryCounter(budget=budget, charge_cached=charge_cached)
+        with pytest.raises(QueryBudgetExceededError):
+            batched.record_batch(n, tag="t", cached_mask=mask)
+        assert batched.snapshot() == scalar.snapshot()
+        assert batched.remaining == scalar.remaining
+
+
+def test_record_batch_overrun_without_mask_assumes_cached_first():
+    # budget 3, batch of 8 with 2 cache hits: under the cached-first
+    # convention the scalar loop raises at its fourth charged query, so
+    # 2 cached + 4 charged = 6 of the 8 queries are recorded.
+    counter = QueryCounter(budget=3)
+    with pytest.raises(QueryBudgetExceededError):
+        counter.record_batch(8, n_cached=2)
+    scalar = _scalar_overrun_reference(3, [True, True] + [False] * 6)
+    assert counter.snapshot() == scalar.snapshot()
+
+
+def test_record_batch_cached_mask_validation():
+    counter = QueryCounter()
+    with pytest.raises(InvalidParameterError):
+        counter.record_batch(3, cached_mask=[True, False])  # wrong length
+    with pytest.raises(InvalidParameterError):
+        counter.record_batch(3, n_cached=2, cached_mask=[True, False, False])
+    # Consistent mask + count is accepted; the mask alone is, too.
+    counter.record_batch(3, n_cached=1, cached_mask=[True, False, False])
+    counter.record_batch(3, cached_mask=[False, True, True])
+    assert counter.total_queries == 6
+    assert counter.cached_queries == 3
+    assert counter.charged_queries == 3
+
+
 def test_record_batch_budget_exhaustion_exactly_at_boundary_does_not_raise():
     counter = QueryCounter(budget=10)
     counter.record_batch(10)
@@ -85,10 +140,12 @@ def test_record_batch_budget_exhaustion_exactly_at_boundary_does_not_raise():
         counter.record_batch(1)
 
 
-def test_oracle_compare_batch_budget_exhaustion_keeps_exact_accounting():
-    # Through a real oracle: a compare_batch that overruns the budget raises
-    # *after* recording the whole batch and after caching the fresh answers,
-    # so the overrun state is inspectable and consistent.
+def test_oracle_compare_batch_budget_exhaustion_matches_scalar_accounting():
+    # Through a real oracle: a compare_batch that overruns the budget clamps
+    # the counter to the scalar prefix (budget + 1 charged queries) before
+    # raising.  The answer cache has already seen the whole batch by then —
+    # fresh answers are computed before accounting — so cache state covers
+    # all 16 queries even though only 11 are recorded.
     space = PointCloudSpace(np.random.default_rng(0).normal(size=(20, 2)))
     counter = QueryCounter(budget=10)
     oracle = DistanceQuadrupletOracle(space, counter=counter)
@@ -98,8 +155,8 @@ def test_oracle_compare_batch_budget_exhaustion_keeps_exact_accounting():
     d = np.full(16, 19)
     with pytest.raises(QueryBudgetExceededError):
         oracle.compare_batch(a, b, c, d)
-    assert counter.total_queries == 16
-    assert counter.charged_queries == 16
+    assert counter.total_queries == 11
+    assert counter.charged_queries == 11
     assert counter.cached_queries == 0
     assert len(oracle._answer_cache) == 16
 
@@ -121,11 +178,12 @@ class TestCachedBatchAnswers:
             seen_miss_positions.append(miss.tolist())
             return np.array([True, False, True])[: len(miss)]
 
-        answers, n_cached = cached_batch_answers(cache, codes, fresh)
+        answers, n_cached, cached_mask = cached_batch_answers(cache, codes, fresh)
         # Fresh answers are requested once per distinct code, at the position
         # of its first occurrence, in batch order.
         assert seen_miss_positions == [[0, 1, 3]]
         assert n_cached == 3  # the three within-batch repeats
+        assert cached_mask.tolist() == [False, False, True, False, True, True]
         assert answers.tolist() == [True, False, True, True, False, True]
         assert cache == {5: True, 7: False, 9: True}
 
@@ -134,21 +192,23 @@ class TestCachedBatchAnswers:
         codes = np.array([1, 2, 3], dtype=np.int64)
         cached_batch_answers(cache, codes, lambda miss: np.ones(len(miss), dtype=bool))
         calls = []
-        answers, n_cached = cached_batch_answers(
+        answers, n_cached, cached_mask = cached_batch_answers(
             cache, codes, lambda miss: calls.append(miss)
         )
         assert n_cached == 3
+        assert cached_mask.all()
         assert calls == []  # fully served from cache; compute_fresh never runs
         assert answers.tolist() == [True, True, True]
 
     def test_mixed_batch_counts_only_served_answers_as_cached(self):
         cache = {10: False}
         codes = np.array([10, 11, 10, 12], dtype=np.int64)
-        answers, n_cached = cached_batch_answers(
+        answers, n_cached, cached_mask = cached_batch_answers(
             cache, codes, lambda miss: np.zeros(len(miss), dtype=bool)
         )
         # Two hits on code 10 plus nothing else: 11 and 12 are fresh.
         assert n_cached == 2
+        assert cached_mask.tolist() == [True, False, True, False]
         assert answers.tolist() == [False, False, False, False]
 
     def test_oracle_hit_accounting_matches_cached_batch_answers(self):

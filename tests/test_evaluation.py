@@ -1,5 +1,7 @@
 """Tests for the evaluation metrics (F-score, objectives, ranks, merges)."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -12,6 +14,7 @@ from repro.evaluation import (
     pairwise_precision_recall,
 )
 from repro.evaluation.clustering import cluster_sizes
+from repro.evaluation.fscore import _positive_pair_counts, _positive_pair_counts_loop
 from repro.evaluation.ranks import distance_of_returned, rank_among_candidates
 from repro.exceptions import InvalidParameterError
 from repro.hierarchical import exact_linkage
@@ -140,3 +143,51 @@ class TestMergeMetrics:
             average_merge_distance(den)
         # Passing the space computes them on demand.
         assert average_merge_distance(den, small_points) > 0.0
+
+
+class TestPositivePairCountsVectorized:
+    """The contingency-table pair counter must equal the O(n^2) loop exactly."""
+
+    def test_matches_loop_on_random_labelings(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n = int(rng.integers(2, 120))
+            n_pred = int(rng.integers(1, n + 1))
+            n_true = int(rng.integers(1, n + 1))
+            predicted = rng.integers(0, n_pred, size=n)
+            truth = rng.integers(0, n_true, size=n)
+            assert _positive_pair_counts(predicted, truth) == (
+                _positive_pair_counts_loop(predicted, truth)
+            )
+
+    def test_matches_loop_on_arbitrary_label_values(self):
+        # Labels need not be contiguous, non-negative or even numeric-coded
+        # the same way in both arrays.
+        predicted = np.array([-7, 99, -7, 0, 99, 99])
+        truth = np.array([3, 3, 5, 5, 3, 8])
+        assert _positive_pair_counts(predicted, truth) == (
+            _positive_pair_counts_loop(predicted, truth)
+        )
+
+    def test_large_n_smoke_runs_in_seconds(self):
+        # n = 50,000 was hopeless for the O(n^2) loop (~1.25e9 pair visits);
+        # the vectorized version finishes in well under a second.
+        rng = np.random.default_rng(1)
+        n = 50_000
+        predicted = rng.integers(0, 500, size=n)
+        truth = rng.integers(0, 500, size=n)
+        start = time.perf_counter()
+        both, pred_pos, true_pos = _positive_pair_counts(predicted, truth)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0  # generous CI headroom; locally ~10 ms
+        # Sanity: totals are consistent and within the all-pairs bound.
+        all_pairs = n * (n - 1) // 2
+        assert 0 < both <= min(pred_pos, true_pos)
+        assert pred_pos <= all_pairs and true_pos <= all_pairs
+        precision, recall = pairwise_precision_recall(predicted, truth)
+        assert 0.0 < precision < 1.0 and 0.0 < recall < 1.0
+
+    def test_fscore_unchanged_on_known_case(self):
+        truth = [0, 0, 1, 1]
+        predicted = [0, 0, 0, 1]
+        assert pairwise_fscore(predicted, truth) == pytest.approx(0.4)

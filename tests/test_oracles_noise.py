@@ -138,3 +138,47 @@ class TestFactory:
     def test_unknown_kind(self):
         with pytest.raises(InvalidParameterError):
             make_noise_model("gaussian")
+
+
+class TestAnswerBatchValidation:
+    """`answer_batch` must reject length mismatches on every implementation.
+
+    Historically the base loop's `zip` silently truncated the batch to the
+    shortest input when `keys` was shorter than `left`/`right`.
+    """
+
+    MODELS = (
+        lambda: ExactNoise(),
+        lambda: AdversarialNoise(mu=0.5),  # vectorised "lie" path
+        lambda: AdversarialNoise(mu=0.5, adversary="random", seed=0),  # base loop
+        lambda: ProbabilisticNoise(p=0.2, seed=0),
+        lambda: ProbabilisticNoise(p=0.2, seed=0, persistent=False),
+    )
+
+    @pytest.mark.parametrize("make_model", MODELS)
+    def test_short_keys_rejected(self, make_model):
+        model = make_model()
+        with pytest.raises(InvalidParameterError):
+            model.answer_batch([1.0, 2.0, 3.0], [2.0, 3.0, 4.0], [10, 11])
+
+    @pytest.mark.parametrize("make_model", MODELS)
+    def test_mismatched_quantities_rejected(self, make_model):
+        model = make_model()
+        with pytest.raises(InvalidParameterError):
+            model.answer_batch([1.0, 2.0], [2.0], [10, 11])
+        with pytest.raises(InvalidParameterError):
+            model.answer_batch([1.0], [2.0, 3.0], [10])
+
+    @pytest.mark.parametrize("make_model", MODELS)
+    def test_empty_batch_answers_empty(self, make_model):
+        model = make_model()
+        answers = model.answer_batch([], [], [])
+        assert answers.dtype == bool
+        assert answers.shape == (0,)
+
+    def test_excess_keys_rejected_too(self):
+        # Extra keys would have been silently ignored by the zip as well.
+        with pytest.raises(InvalidParameterError):
+            ProbabilisticNoise(p=0.1, seed=0).answer_batch(
+                [1.0], [2.0], [10, 11, 12]
+            )
