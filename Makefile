@@ -11,8 +11,8 @@ lint:
 	scripts/ci.sh lint
 
 # Benchmark smoke regressions plus the standing suite: regenerates the
-# BENCH_scaling.json / BENCH_batch.json artifacts at the repo root
-# (mirrors `python -m repro.bench run --quick`).
+# BENCH_*.json artifacts (scaling / batch / service / store) at the repo
+# root (mirrors `python -m repro.bench run --quick`).
 bench:
 	scripts/ci.sh bench
 

@@ -21,9 +21,11 @@ run_packaging() {
 
 run_tests() {
     echo "== tests: PYTHONPATH=src python -m pytest -x -q --ignore=benchmarks =="
-    # Includes tests/test_service.py (async service layer); those tests carry
-    # their own per-test asyncio timeout guard, so a wedged event loop fails
-    # fast instead of hanging the suite.
+    # Includes tests/test_service.py (async service layer) and
+    # tests/test_store.py (persistent answer warehouse: WAL crash recovery,
+    # cold-store bit-identity, warm-store query savings); the async tests
+    # carry their own per-test asyncio timeout guard, so a wedged event loop
+    # fails fast instead of hanging the suite.
     python -m pytest -x -q --ignore=benchmarks
 }
 
@@ -43,7 +45,9 @@ run_bench() {
     python -m pytest benchmarks -q -s -k "smoke or batch" --benchmark-disable
     echo "== bench suite: python -m repro.bench run --quick =="
     # Writes BENCH_scaling.json + BENCH_batch.json + BENCH_service.json (the
-    # crowd-service throughput/latency suite) at the repo root.
+    # crowd-service throughput/latency suite) + BENCH_store.json (the answer
+    # warehouse's cross-session hit-rate / query-savings suite) at the repo
+    # root.
     python -m repro.bench run --quick
 }
 

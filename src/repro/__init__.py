@@ -21,7 +21,10 @@ Oracle" (Addanki, Galhotra, Saha — PVLDB 14(9), 2021).  The library provides:
 * an asyncio crowd-oracle service (:mod:`repro.service`) that micro-batches
   the queries of many concurrent algorithm sessions onto the batched oracle
   stack, with per-session budgets, simulated crowd latency and backpressure
-  (``python -m repro.service`` is a load-driver demo).
+  (``python -m repro.service`` is a load-driver demo),
+* a persistent crowd-answer warehouse (:mod:`repro.store`) that deduplicates
+  queries across sessions and runs and aggregates repeated noisy answers
+  into majority votes (``python -m repro.store`` is the maintenance CLI).
 
 Quickstart
 ----------
@@ -46,6 +49,7 @@ from repro import (
     neighbors,
     oracles,
     service,
+    store,
 )
 from repro.exceptions import (
     ClusteringError,
@@ -55,6 +59,8 @@ from repro.exceptions import (
     NotAMetricError,
     QueryBudgetExceededError,
     ReproError,
+    StoreCorruptionError,
+    StoreError,
 )
 
 __version__ = "1.0.0"
@@ -63,6 +69,7 @@ __all__ = [
     "metric",
     "oracles",
     "service",
+    "store",
     "maximum",
     "neighbors",
     "kcenter",
@@ -75,6 +82,8 @@ __all__ = [
     "InvalidParameterError",
     "EmptyInputError",
     "QueryBudgetExceededError",
+    "StoreError",
+    "StoreCorruptionError",
     "NotAMetricError",
     "DatasetError",
     "ClusteringError",

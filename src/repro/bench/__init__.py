@@ -1,12 +1,14 @@
 """Standing benchmark suite: the repo's machine-readable performance record.
 
-Every PR can regenerate three JSON artifacts at the repository root —
+Every PR can regenerate four JSON artifacts at the repository root —
 ``BENCH_scaling.json`` (wall-clock and peak memory per (algorithm, n,
 backend) cell, up to n = 50,000 on the lazy metric backend),
-``BENCH_batch.json`` (batched-versus-scalar speedups of the oracle layer)
-and ``BENCH_service.json`` (crowd-service micro-batching throughput and
-latency percentiles versus concurrent sessions x batch window) — with one
-command::
+``BENCH_batch.json`` (batched-versus-scalar speedups of the oracle layer),
+``BENCH_service.json`` (crowd-service micro-batching throughput and
+latency percentiles versus concurrent sessions x batch window) and
+``BENCH_store.json`` (the persistent answer warehouse's cross-session hit
+rate and query savings, cold and warm, versus sessions x replication
+factor) — with one command::
 
     python -m repro.bench run --quick
 

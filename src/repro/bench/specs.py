@@ -20,7 +20,7 @@ from repro.exceptions import InvalidParameterError
 from repro.rng import derive_task_seeds
 
 #: The suites the CLI can emit, in artifact order.
-BENCH_SUITES = ("scaling", "batch", "service")
+BENCH_SUITES = ("scaling", "batch", "service", "store")
 
 
 @dataclass(frozen=True)
@@ -230,6 +230,26 @@ register(
         quick_grid={
             "sessions": [16],
             "batch_window_ms": [2.0, 5.0],
+            "queries_per_session": [25],
+        },
+    )
+)
+register(
+    BenchSpec(
+        name="store_dedup",
+        suite="store",
+        runner=workloads.run_store_dedup,
+        description="Persistent-warehouse dedup: cross-session hit rate and query savings",
+        grid={
+            "sessions": [4, 8, 16],
+            "replication": [1, 3],
+            "queries_per_session": [50],
+        },
+        # CI scale keeps the acceptance point — >= 4 concurrent sessions —
+        # and both replication regimes (pure dedup vs 3-vote aggregation).
+        quick_grid={
+            "sessions": [4],
+            "replication": [1, 3],
             "queries_per_session": [25],
         },
     )

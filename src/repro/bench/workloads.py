@@ -21,12 +21,16 @@ first-class at n = 50,000:
 
 The batch workloads re-measure PR 1's batched-versus-scalar claim as
 numbers rather than a pass/fail assertion, so the speedup trajectory is
-visible across commits.
+visible across commits.  The service workload measures what micro-batching
+buys over per-query round trips, and the store workload measures what the
+persistent answer warehouse saves across concurrent sessions and repeated
+runs.
 """
 
 from __future__ import annotations
 
 import asyncio
+import tempfile
 import time
 from typing import Any, Dict
 
@@ -42,8 +46,10 @@ from repro.oracles.comparison import ValueComparisonOracle
 from repro.oracles.counting import QueryCounter
 from repro.oracles.quadruplet import DistanceQuadrupletOracle
 from repro.rng import ensure_rng, sample_without_replacement
+from repro.oracles.noise import ProbabilisticNoise
 from repro.service.core import CrowdOracleService, ServiceConfig
 from repro.service.load import run_comparison_load
+from repro.store.warehouse import AnswerStore
 
 #: Dimension of the synthetic benchmark clouds.
 BENCH_DIMENSION = 8
@@ -253,5 +259,102 @@ def run_service_throughput(
             "baseline_latency_p50_ms": baseline["measured"]["latency_p50_ms"],
             "mean_batch_size": batched["service_stats"]["mean_batch_size"],
             "n_batches": batched["service_stats"]["n_batches"],
+        },
+    }
+
+
+# --- answer-warehouse workloads (BENCH_store.json) ----------------------------
+
+
+def run_store_dedup(
+    sessions: int = 4,
+    replication: int = 1,
+    queries_per_session: int = 50,
+    n_records: int = 60,
+    batch_window_ms: float = 2.0,
+    latency_ms: float = 1.0,
+    noise_p: float = 0.1,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Cross-session and cross-run dedup through a shared answer warehouse.
+
+    Two phases over one on-disk :class:`~repro.store.AnswerStore`, both
+    driving *sessions* concurrent sessions with an identical "hot content"
+    query stream (``shared_stream=True`` — the access pattern of many users
+    asking the same trending comparisons):
+
+    * **cold** — the store starts empty; the first arrival of each distinct
+      query pays the crowd (``replication`` times), everyone else hits, so
+      the cold hit rate measures *cross-session* dedup;
+    * **warm** — a fresh service and fresh sessions against the same
+      directory, the re-run pattern; at ``replication=1`` every query hits.
+
+    The charged/hit splits are deterministic given ``(params, seed)``
+    regardless of event-loop interleaving (who pays first varies, the totals
+    do not); wall-clock numbers land under ``"measured"``.
+    """
+    values = ensure_rng(seed).uniform(0.0, 100.0, size=int(n_records))
+    n_queries = int(sessions) * int(queries_per_session)
+
+    def run_phase(directory: str, phase_seed: int) -> Dict[str, Any]:
+        # Independent votes, as replication > 1 requires: no per-query
+        # memoisation in the backend (cache_answers=False) and a fresh noise
+        # draw per ask (persistent=False) — each re-forwarded query models a
+        # different worker, so the r=3 cells measure real vote aggregation
+        # rather than three copies of one memoised answer.
+        backend = ValueComparisonOracle(
+            values,
+            noise=ProbabilisticNoise(p=noise_p, seed=phase_seed, persistent=False),
+            counter=QueryCounter(),
+            cache_answers=False,
+        )
+        store = AnswerStore(directory, replication=int(replication))
+        config = ServiceConfig(
+            batch_window=batch_window_ms / 1000.0,
+            max_inflight=1,
+            latency=latency_ms / 1000.0,
+            seed=seed,
+        )
+
+        async def scenario() -> Dict[str, Any]:
+            async with CrowdOracleService(
+                comparison=backend, config=config, store=store
+            ) as service:
+                return await run_comparison_load(
+                    service,
+                    n_sessions=int(sessions),
+                    queries_per_session=int(queries_per_session),
+                    n_records=int(n_records),
+                    seed=seed,
+                    shared_stream=True,
+                )
+
+        try:
+            return asyncio.run(scenario())
+        finally:
+            store.close()
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        cold = run_phase(tmp, phase_seed=seed)
+        warm = run_phase(tmp, phase_seed=seed + 1)
+
+    def savings(report: Dict[str, Any]) -> float:
+        return 1.0 - report["charged_queries"] / max(n_queries, 1)
+
+    return {
+        "n_queries": n_queries,
+        "cold_charged": cold["charged_queries"],
+        "cold_hit_rate": cold["cached_queries"] / n_queries,
+        "cold_query_savings": savings(cold),
+        "warm_charged": warm["charged_queries"],
+        "warm_hit_rate": warm["cached_queries"] / n_queries,
+        "warm_query_savings": savings(warm),
+        "measured": {
+            "cold_wall_seconds": cold["measured"]["wall_seconds"],
+            "warm_wall_seconds": warm["measured"]["wall_seconds"],
+            "cold_throughput_qps": cold["measured"]["throughput_qps"],
+            "warm_throughput_qps": warm["measured"]["throughput_qps"],
+            "warm_speedup": cold["measured"]["wall_seconds"]
+            / max(warm["measured"]["wall_seconds"], 1e-9),
         },
     }

@@ -45,6 +45,25 @@ class ServiceClosedError(ReproError, RuntimeError):
     """
 
 
+class StoreError(ReproError, RuntimeError):
+    """The persistent answer store cannot honour a request.
+
+    Raised by :mod:`repro.store` for incompatible on-disk format versions and
+    for record-count mismatches (query codes are functions of ``n_records``;
+    mixing counts would silently collide keys).
+    """
+
+
+class StoreCorruptionError(StoreError):
+    """The answer store's on-disk state is damaged beyond safe recovery.
+
+    A truncated or garbled *trailing* WAL line is expected after a crash and
+    is skipped with a warning; this error is reserved for damage that cannot
+    be attributed to a torn append — an unreadable snapshot or WAL header —
+    where silently continuing could lose or double-count votes.
+    """
+
+
 class NotAMetricError(ReproError, ValueError):
     """A distance function failed one of the metric axioms during validation."""
 

@@ -37,6 +37,7 @@ class QueryCounter:
     charged_queries: int = 0
     cached_queries: int = 0
     by_tag: Dict[str, int] = field(default_factory=dict)
+    cached_by_tag: Dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self):
         if self.budget is not None and self.budget < 0:
@@ -60,6 +61,8 @@ class QueryCounter:
             self.charged_queries += 1
         if tag is not None:
             self.by_tag[tag] = self.by_tag.get(tag, 0) + 1
+            if cached:
+                self.cached_by_tag[tag] = self.cached_by_tag.get(tag, 0) + 1
         if self.budget is not None and self.charged_queries > self.budget:
             raise QueryBudgetExceededError(
                 f"query budget of {self.budget} exceeded "
@@ -134,6 +137,8 @@ class QueryCounter:
         self.charged_queries += charged
         if tag is not None:
             self.by_tag[tag] = self.by_tag.get(tag, 0) + n
+            if n_cached:
+                self.cached_by_tag[tag] = self.cached_by_tag.get(tag, 0) + n_cached
 
     def _record_overrun_prefix(
         self,
@@ -177,6 +182,10 @@ class QueryCounter:
         )
         if tag is not None:
             self.by_tag[tag] = self.by_tag.get(tag, 0) + n_recorded
+            if cached_recorded:
+                self.cached_by_tag[tag] = (
+                    self.cached_by_tag.get(tag, 0) + cached_recorded
+                )
 
     def reset(self) -> None:
         """Zero all counters (the budget is kept)."""
@@ -184,27 +193,57 @@ class QueryCounter:
         self.charged_queries = 0
         self.cached_queries = 0
         self.by_tag = {}
+        self.cached_by_tag = {}
 
-    def snapshot(self) -> Dict[str, int]:
-        """Return a plain-dict snapshot suitable for experiment result rows."""
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit rate ``cached / total`` (``0.0`` before any query)."""
+        if self.total_queries == 0:
+            return 0.0
+        return self.cached_queries / self.total_queries
+
+    def tag_hit_rate(self, tag: str) -> float:
+        """Cache hit rate of one tag's queries (``0.0`` for unseen tags)."""
+        total = self.by_tag.get(tag, 0)
+        if total == 0:
+            return 0.0
+        return self.cached_by_tag.get(tag, 0) / total
+
+    def snapshot(self) -> Dict[str, object]:
+        """Return a plain-dict snapshot suitable for experiment result rows.
+
+        Includes the cache hit rate (``hits / total``) overall and per tag:
+        over a warehouse-backed oracle these rates *are* the cross-session
+        dedup rates, which is what the store bench reports.
+        """
         return {
             "total_queries": self.total_queries,
             "charged_queries": self.charged_queries,
             "cached_queries": self.cached_queries,
+            "hit_rate": self.hit_rate,
             **{f"tag:{k}": v for k, v in sorted(self.by_tag.items())},
+            **{
+                f"hit_rate:{k}": self.tag_hit_rate(k)
+                for k in sorted(self.by_tag)
+            },
         }
 
     def summary(self) -> str:
         """One-line human-readable account, used by the experiment reports.
 
-        Example: ``"1523 queries (1400 charged, 123 cached) [assign=900, farthest=623]"``.
+        Example: ``"1523 queries (1400 charged, 123 cached, 8.1% hit rate)
+        [assign=900 (12.0% hit), farthest=623 (0.0% hit)]"``.
         """
         parts = (
             f"{self.total_queries} queries "
-            f"({self.charged_queries} charged, {self.cached_queries} cached)"
+            f"({self.charged_queries} charged, {self.cached_queries} cached, "
+            f"{self.hit_rate:.1%} hit rate)"
         )
         if self.by_tag:
-            tags = ", ".join(f"{k}={v}" for k, v in sorted(self.by_tag.items()))
+            tags = ", ".join(
+                f"{k}={v} ({self.tag_hit_rate(k):.1%} hit)"
+                for k, v in sorted(self.by_tag.items())
+            )
             parts += f" [{tags}]"
         return parts
 

@@ -11,6 +11,13 @@ comparison::
 
     python -m repro.service --sessions 16 --queries 100 --latency-ms 5 \\
         --max-batch 1 --window-ms 0
+
+Shared-warehouse mode: sessions issue the same "hot" query stream against a
+persistent answer store, so all but the first arrival of each query are
+served without crowd work — run it twice and the second run is all hits::
+
+    python -m repro.service --sessions 8 --queries 50 --shared-stream \\
+        --store-dir /tmp/repro-store
 """
 
 from __future__ import annotations
@@ -20,12 +27,13 @@ import asyncio
 import sys
 from typing import Optional, Sequence
 
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, StoreError
 from repro.oracles.comparison import ValueComparisonOracle
 from repro.oracles.counting import QueryCounter
 from repro.rng import ensure_rng
 from repro.service.core import CrowdOracleService, ServiceConfig
 from repro.service.load import run_comparison_load
+from repro.store.warehouse import AnswerStore
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +58,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--jitter-ms", type=float, default=0.0, help="uniform extra latency bound (ms)"
     )
     parser.add_argument("--seed", type=int, default=0, help="seed for data and query streams")
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help="directory of a persistent answer warehouse shared by all sessions "
+        "(and by successive runs); omit to serve without a store",
+    )
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        help="votes the warehouse needs before serving a key (default 1 = dedup)",
+    )
+    parser.add_argument(
+        "--shared-stream",
+        action="store_true",
+        help="every session issues the same seeded query stream (hot-content "
+        "pattern; maximises cross-session warehouse hits)",
+    )
     return parser
 
 
@@ -65,14 +91,24 @@ async def _run(args) -> int:
         jitter=args.jitter_ms / 1000.0,
         seed=args.seed,
     )
-    async with CrowdOracleService(comparison=backend, config=config) as service:
-        report = await run_comparison_load(
-            service,
-            n_sessions=args.sessions,
-            queries_per_session=args.queries,
-            n_records=args.records,
-            seed=args.seed,
-        )
+    store = None
+    if args.store_dir is not None:
+        store = AnswerStore(args.store_dir, replication=args.replication)
+    try:
+        async with CrowdOracleService(
+            comparison=backend, config=config, store=store
+        ) as service:
+            report = await run_comparison_load(
+                service,
+                n_sessions=args.sessions,
+                queries_per_session=args.queries,
+                n_records=args.records,
+                seed=args.seed,
+                shared_stream=args.shared_stream,
+            )
+    finally:
+        if store is not None:
+            store.close()
     measured = report["measured"]
     stats = report["service_stats"]
     print(
@@ -91,6 +127,20 @@ async def _run(args) -> int:
         f"max pending {stats['max_pending_seen']}, "
         f"max inflight {stats['max_inflight_seen']}"
     )
+    for row in report["sessions"]:
+        print(
+            f"  {row['name']}: {row['total_queries']} queries, "
+            f"{row['cached_queries']} hits, {row['charged_queries']} charged "
+            f"({row['hit_rate']:.1%} hit rate)"
+        )
+    if store is not None:
+        sstats = store.stats()
+        print(
+            f"store: {sstats['n_keys']} keys / {sstats['n_votes']} votes at "
+            f"{sstats['directory']} (replication {sstats['replication']}, "
+            f"{report['cached_queries']} of {report['n_queries']} queries "
+            "served from the warehouse)"
+        )
     print(f"backend: {backend.counter.summary()}")
     return 0
 
@@ -100,7 +150,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return asyncio.run(_run(args))
-    except InvalidParameterError as error:
+    except (InvalidParameterError, StoreError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

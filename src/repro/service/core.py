@@ -32,6 +32,14 @@ queries (documented in ``docs/subsystems/service.md``).
 Backpressure: the submission queue is bounded at ``max_pending`` requests —
 producers block (``await``) rather than grow memory without bound — and at
 most ``max_inflight`` dispatched batches overlap their simulated latency.
+
+Warehouse: constructed with ``store=`` (an
+:class:`~repro.store.warehouse.AnswerStore`), the service serves every
+micro-batch through warehouse-backed oracle wrappers instead: answers the
+store already holds never reach the crowd, fresh answers are persisted as
+votes, and per-session counters then *do* see hits — a session is charged
+only for its true misses, so its counter's hit rate measures how much of its
+traffic other sessions (or earlier runs) already paid for.
 """
 
 from __future__ import annotations
@@ -55,6 +63,8 @@ from repro.oracles.base import (
 )
 from repro.oracles.counting import QueryCounter
 from repro.rng import SeedLike, ensure_rng
+from repro.store.oracle import StoredComparisonOracle, StoredQuadrupletOracle
+from repro.store.warehouse import AnswerStore
 
 #: Query kinds a request can carry (which backend serves it).
 KIND_COMPARISON = "comparison"
@@ -245,6 +255,18 @@ class CrowdOracleService:
         Backend serving quadruplet queries, or ``None``.
     config:
         Batching, latency and backpressure knobs.
+    store:
+        Optional :class:`~repro.store.warehouse.AnswerStore` shared by every
+        session of this service (and, through its directory, by other
+        processes' runs).  When set, each backend is wrapped in a
+        warehouse-backed oracle: queries the store can already resolve never
+        reach the crowd, and each session's
+        :class:`~repro.oracles.counting.QueryCounter` records its own
+        hit/miss/charged split — a session is charged only for its true
+        warehouse misses.  Budget enforcement moves to serving time (the
+        store decides what a miss is), so a request that overruns its budget
+        may already have dispatched its misses, mirroring the concrete
+        oracles' overrun contract.
     """
 
     def __init__(
@@ -252,6 +274,7 @@ class CrowdOracleService:
         comparison: Optional[BaseComparisonOracle] = None,
         quadruplet: Optional[BaseQuadrupletOracle] = None,
         config: Optional[ServiceConfig] = None,
+        store: Optional[AnswerStore] = None,
     ):
         if comparison is None and quadruplet is None:
             raise InvalidParameterError(
@@ -260,6 +283,17 @@ class CrowdOracleService:
         self.comparison = comparison
         self.quadruplet = quadruplet
         self.config = config if config is not None else ServiceConfig()
+        self.store = store
+        self._stored: Dict[str, Any] = {}
+        if store is not None:
+            if comparison is not None:
+                self._stored[KIND_COMPARISON] = StoredComparisonOracle(
+                    comparison, store
+                )
+            if quadruplet is not None:
+                self._stored[KIND_QUADRUPLET] = StoredQuadrupletOracle(
+                    quadruplet, store
+                )
         self.stats = ServiceStats()
         self._rng = ensure_rng(self.config.seed)
         self._queue: Optional[asyncio.Queue] = None
@@ -407,24 +441,28 @@ class CrowdOracleService:
         self.stats.n_dispatched_queries += size
         self.stats.max_batch_size_seen = max(self.stats.max_batch_size_seen, size)
         try:
-            # Budget accounting first: a session over budget has its request
-            # failed here and its queries never reach the backend.
-            admitted: List[_Request] = []
-            for request in batch:
-                try:
-                    request.session.counter.record_batch(
-                        request.n_chargeable, tag=request.session.tag
-                    )
-                except QueryBudgetExceededError as error:
-                    if not request.future.done():
-                        request.future.set_exception(error)
-                else:
-                    admitted.append(request)
-            # Answers are computed synchronously *before* the latency sleep so
-            # backends see queries in dispatch order even when several batches
-            # overlap their simulated round trips (determinism of persistent
-            # noise draws depends on presentation order).
-            answers = self._answer(admitted)
+            if self.store is not None:
+                admitted, answers = self._serve_via_store(batch)
+            else:
+                # Budget accounting first: a session over budget has its
+                # request failed here and its queries never reach the backend.
+                admitted = []
+                for request in batch:
+                    try:
+                        request.session.counter.record_batch(
+                            request.n_chargeable, tag=request.session.tag
+                        )
+                    except QueryBudgetExceededError as error:
+                        if not request.future.done():
+                            request.future.set_exception(error)
+                    else:
+                        admitted.append(request)
+                # Answers are computed synchronously *before* the latency
+                # sleep so backends see queries in dispatch order even when
+                # several batches overlap their simulated round trips
+                # (determinism of persistent noise draws depends on
+                # presentation order).
+                answers = self._answer(admitted)
             latency = self.config.latency
             if self.config.jitter:
                 latency += float(self._rng.random()) * self.config.jitter
@@ -440,6 +478,45 @@ class CrowdOracleService:
         finally:
             self._inflight_count -= 1
             self._inflight.release()
+
+    def _serve_via_store(
+        self, batch: List[_Request]
+    ) -> Tuple[List[_Request], List[np.ndarray]]:
+        """Serve one micro-batch through the shared answer warehouse.
+
+        Requests are served sequentially in dispatch order — an earlier
+        request's fresh votes resolve a later co-batched request's repeats,
+        which is exactly the cross-session dedup the store exists for.  Each
+        request charges its own session counter with the true hit mask; a
+        budget overrun fails only the offending request (its warehouse misses
+        from this serving call were already dispatched, as on the direct
+        oracle path).
+
+        Deliberate trade-off versus the storeless path's single merged
+        backend call: per-request serving keeps the charging and replication
+        semantics per session (who pays for a shared miss, vote order within
+        a batch) simple and testable, while the expensive resource — the
+        simulated crowd round trip — is still paid once per micro-batch.
+        What splits is only the in-process ``compare_batch`` compute, and
+        warehouse hits skip the backend entirely.
+        """
+        admitted: List[_Request] = []
+        answers: List[np.ndarray] = []
+        for request in batch:
+            stored = self._stored[request.kind]
+            try:
+                result = stored.serve_batch(
+                    *request.arrays,
+                    counter=request.session.counter,
+                    tag=request.session.tag,
+                )
+            except QueryBudgetExceededError as error:
+                if not request.future.done():
+                    request.future.set_exception(error)
+            else:
+                admitted.append(request)
+                answers.append(result)
+        return admitted, answers
 
     def _answer(self, batch: List[_Request]) -> List[np.ndarray]:
         """Answer the admitted requests, one backend call per query kind."""

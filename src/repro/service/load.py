@@ -35,13 +35,20 @@ async def run_comparison_load(
     queries_per_session: int,
     n_records: int,
     seed: int = 0,
+    shared_stream: bool = False,
 ) -> Dict[str, Any]:
     """Drive *n_sessions* concurrent sessions of single comparison queries.
 
     Returns a dict with deterministic fields (query counts and, over a
-    deterministic backend, the Yes-answer checksum) plus ``measured``
-    wall-clock numbers: total seconds, queries/second, and per-query latency
-    percentiles in milliseconds.
+    deterministic backend, the Yes-answer checksum), a per-session
+    ``sessions`` list carrying each session counter's total/hit/charged
+    split, plus ``measured`` wall-clock numbers: total seconds,
+    queries/second, and per-query latency percentiles in milliseconds.
+
+    ``shared_stream=True`` gives every session the *same* seeded query
+    stream instead of a per-session derived one — the "hot content" access
+    pattern (many users asking the same trending comparisons) that a shared
+    answer warehouse turns into cross-session cache hits.
     """
     if n_sessions < 1 or queries_per_session < 1:
         raise InvalidParameterError(
@@ -53,8 +60,8 @@ async def run_comparison_load(
     session_seeds = derive_task_seeds(seed, n_sessions)
     latencies: List[float] = []
 
-    async def one_session(session_seed: int) -> int:
-        rng = ensure_rng(session_seed)
+    async def one_session(session_seed: int) -> Dict[str, Any]:
+        rng = ensure_rng(seed if shared_stream else session_seed)
         session = service.open_session()
         yes = 0
         for _ in range(queries_per_session):
@@ -66,21 +73,37 @@ async def run_comparison_load(
             answer = await session.compare(i, j)
             latencies.append(loop.time() - started)
             yes += int(answer)
-        return yes
+        counter = session.counter
+        return {
+            "name": session.name,
+            "yes": yes,
+            "total_queries": counter.total_queries,
+            "cached_queries": counter.cached_queries,
+            "charged_queries": counter.charged_queries,
+            "hit_rate": counter.hit_rate,
+        }
 
     started = loop.time()
     per_session = await asyncio.gather(
         *(one_session(s) for s in session_seeds)
     )
     wall = loop.time() - started
-    yes_total = int(sum(per_session))
+    yes_total = int(sum(row["yes"] for row in per_session))
     n_queries = n_sessions * queries_per_session
+    total_cached = sum(row["cached_queries"] for row in per_session)
+    total_charged = sum(row["charged_queries"] for row in per_session)
     lat_ms = np.asarray(latencies) * 1000.0
     return {
         "n_sessions": n_sessions,
         "queries_per_session": queries_per_session,
         "n_queries": n_queries,
         "yes_answers": yes_total,
+        "shared_stream": bool(shared_stream),
+        "sessions": [
+            {k: v for k, v in row.items() if k != "yes"} for row in per_session
+        ],
+        "cached_queries": int(total_cached),
+        "charged_queries": int(total_charged),
         "service_stats": service.stats.as_dict(),
         "measured": {
             "wall_seconds": wall,

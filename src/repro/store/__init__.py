@@ -1,0 +1,56 @@
+"""Persistent crowd-answer warehouse: cross-session dedup and vote aggregation.
+
+Crowd queries are the scarce resource in every algorithm this library
+reproduces, yet without this package answers die with the oracle instance —
+the in-memory caches in :mod:`repro.oracles` and the per-session budgets in
+:mod:`repro.service` share nothing across sessions or runs.  The warehouse
+makes answers durable and shared:
+
+* :class:`~repro.store.warehouse.AnswerStore` — an append-only JSONL
+  write-ahead log plus periodically compacted snapshot (atomic replace,
+  versioned format), holding a multiset of noisy votes per canonical query
+  key and answering by majority once a configurable replication factor is
+  reached.  Repeated queries are not just deduplicated: with
+  ``replication > 1`` they *reduce* effective noise.
+* :class:`~repro.store.oracle.StoredComparisonOracle` /
+  :class:`~repro.store.oracle.StoredQuadrupletOracle` — drop-in oracle
+  wrappers that consult the warehouse first and charge their
+  :class:`~repro.oracles.counting.QueryCounter` only on true misses.  A cold
+  store is bit-identical to the direct oracle path on seeded runs; a warm
+  store turns repeat traffic into cache hits.
+* Integration with :class:`~repro.service.core.CrowdOracleService`
+  (``store=`` parameter): concurrent sessions share one warehouse, and each
+  session's counter records its own hit/miss/charged split.
+* ``python -m repro.store`` — ``stats`` / ``compact`` / ``clean``
+  maintenance CLI.
+
+On-disk format, vote semantics and replication-factor guidance:
+``docs/subsystems/store.md``.
+"""
+
+from repro.store.keys import (
+    comparison_code,
+    comparison_codes,
+    quadruplet_code,
+    quadruplet_codes,
+    quadruplet_codes_fit,
+)
+from repro.store.oracle import StoredComparisonOracle, StoredQuadrupletOracle
+from repro.store.warehouse import (
+    STORE_FORMAT_VERSION,
+    AnswerStore,
+    majority_readout,
+)
+
+__all__ = [
+    "AnswerStore",
+    "majority_readout",
+    "STORE_FORMAT_VERSION",
+    "StoredComparisonOracle",
+    "StoredQuadrupletOracle",
+    "comparison_code",
+    "comparison_codes",
+    "quadruplet_code",
+    "quadruplet_codes",
+    "quadruplet_codes_fit",
+]

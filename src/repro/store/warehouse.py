@@ -1,0 +1,466 @@
+"""The persistent crowd-answer warehouse: WAL + snapshot, votes, readout.
+
+:class:`AnswerStore` keeps, for every canonical query key (the int-code
+scheme of :mod:`repro.store.keys`), a multiset of noisy Yes/No answers — the
+*votes* — durably on disk.  Two files live under the store directory:
+
+* ``wal.jsonl`` — an append-only JSON-lines write-ahead log.  The first line
+  is a header recording the format version and the pinned record count;
+  every following line is one vote ``[seq, code, answer]`` with a strictly
+  increasing sequence number.  Appends are flushed per batch, so a crash
+  loses at most the unflushed tail; a truncated or corrupt trailing line is
+  skipped with a warning on load and the log is repaired in place
+  (everything after a torn write is suspect, so replay stops at the first
+  bad line and the torn tail is rewritten away before new appends land).
+* ``snapshot.json`` — a compacted view ``{code: [yes, no]}`` written
+  atomically (temp file + ``os.replace``, the same pattern as
+  :class:`repro.engine.cache.ResultCache`).  The snapshot records the
+  highest WAL sequence it folded in (``last_seq``), so replay after an
+  interrupted compaction never double-counts a vote.
+
+Readout is *vote aggregation*, not plain memoisation: a key only serves an
+answer once it holds at least ``replication`` votes with a strict majority
+(optionally a ``confidence`` fraction of the votes).  With
+``replication=1`` (the default) the store behaves as a cross-session dedup
+cache; with ``replication=r > 1`` it re-asks each query until *r* votes
+accumulate and then answers by majority, so independent noisy answers
+*reduce* the effective error rate instead of merely being reused.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Any, Dict, IO, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+try:  # POSIX advisory locking; absent on some platforms (best-effort guard).
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+from repro.exceptions import InvalidParameterError, StoreCorruptionError, StoreError
+
+#: Bump when the on-disk layout changes incompatibly.
+STORE_FORMAT_VERSION = 1
+
+#: File names under the store directory.
+WAL_NAME = "wal.jsonl"
+SNAPSHOT_NAME = "snapshot.json"
+
+
+def majority_readout(
+    yes: int, no: int, replication: int = 1, confidence: float = 0.0
+) -> Optional[bool]:
+    """Aggregate one key's votes into an answer, or ``None`` when unresolved.
+
+    Resolved means: at least *replication* votes, a strict majority (ties
+    never resolve — another vote is needed), and the majority fraction is at
+    least *confidence* (``0.0`` disables the threshold; ``2/3`` would demand
+    a two-thirds majority however many votes there are).
+    """
+    total = yes + no
+    if total < replication or yes == no:
+        return None
+    if confidence > 0.0 and max(yes, no) / total < confidence:
+        return None
+    return yes > no
+
+
+class AnswerStore:
+    """Durable, shared warehouse of noisy crowd answers keyed by query code.
+
+    Parameters
+    ----------
+    directory:
+        Store directory (created on first write).  One directory is one
+        warehouse; concurrent *sessions* of one process share an instance,
+        successive runs share the directory.  Writing is single-writer at a
+        time: an advisory lock on the WAL turns a second concurrent writing
+        process into a :class:`~repro.exceptions.StoreError` instead of
+        silent vote loss (read-only use never locks).
+    replication:
+        Votes required before a key serves answers (see
+        :func:`majority_readout`).  ``1`` = pure dedup.
+    confidence:
+        Optional majority fraction a resolved key must reach, in ``[0, 1]``.
+    compact_every:
+        Appended votes between automatic compactions; ``0`` disables
+        auto-compaction (explicit :meth:`compact` still works).
+    n_records:
+        Record count the query codes are computed against.  Usually pinned
+        lazily by the first :class:`~repro.store.oracle.StoredOracle` that
+        attaches; a mismatch with the on-disk value raises
+        :class:`~repro.exceptions.StoreError`.
+    """
+
+    def __init__(
+        self,
+        directory: os.PathLike | str,
+        replication: int = 1,
+        confidence: float = 0.0,
+        compact_every: int = 100_000,
+        n_records: Optional[int] = None,
+    ):
+        if replication < 1:
+            raise InvalidParameterError(
+                f"replication must be at least 1, got {replication}"
+            )
+        if not 0.0 <= confidence <= 1.0:
+            raise InvalidParameterError(
+                f"confidence must be in [0, 1], got {confidence}"
+            )
+        if compact_every < 0:
+            raise InvalidParameterError(
+                f"compact_every must be non-negative, got {compact_every}"
+            )
+        self.directory = Path(directory)
+        self.replication = int(replication)
+        self.confidence = float(confidence)
+        self.compact_every = int(compact_every)
+        self.n_records: Optional[int] = int(n_records) if n_records is not None else None
+        #: code -> [yes_votes, no_votes]
+        self._votes: Dict[int, List[int]] = {}
+        self._seq = 0  # last sequence number written to (or loaded from) disk
+        self._appends_since_compact = 0
+        self._wal: Optional[IO[str]] = None
+        self._load()
+
+    # -- paths ----------------------------------------------------------------
+
+    @property
+    def wal_path(self) -> Path:
+        """Path of the append-only write-ahead log."""
+        return self.directory / WAL_NAME
+
+    @property
+    def snapshot_path(self) -> Path:
+        """Path of the compacted snapshot."""
+        return self.directory / SNAPSHOT_NAME
+
+    # -- loading --------------------------------------------------------------
+
+    def _check_format(self, version: Any, source: Path) -> None:
+        if version != STORE_FORMAT_VERSION:
+            raise StoreError(
+                f"{source} has format version {version!r}; this code reads "
+                f"version {STORE_FORMAT_VERSION} (run a matching release, or "
+                f"`python -m repro.store clean --dir {self.directory}`)"
+            )
+
+    def _bind_n_records_value(self, n: Any, source: str) -> None:
+        if n is None:
+            return
+        n = int(n)
+        if self.n_records is None:
+            self.n_records = n
+        elif self.n_records != n:
+            raise StoreError(
+                f"store at {self.directory} was written for n_records="
+                f"{n} but {source} expects n_records={self.n_records}; "
+                "query codes would collide across record counts"
+            )
+
+    def _load_snapshot(self) -> None:
+        try:
+            raw = self.snapshot_path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return
+        try:
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("snapshot is not an object")
+        except (json.JSONDecodeError, ValueError) as error:
+            raise StoreCorruptionError(
+                f"snapshot {self.snapshot_path} is unreadable: {error}"
+            ) from error
+        # Version first: a future format's restructured payload must report
+        # as a version mismatch (actionable), not as corruption (alarming).
+        self._check_format(payload.get("format"), self.snapshot_path)
+        try:
+            votes = {
+                int(code): [int(yes), int(no)]
+                for code, (yes, no) in payload["votes"].items()
+            }
+        except (KeyError, TypeError, ValueError) as error:
+            raise StoreCorruptionError(
+                f"snapshot {self.snapshot_path} is unreadable: {error}"
+            ) from error
+        self._bind_n_records_value(payload.get("n_records"), "the snapshot")
+        self._votes = votes
+        self._seq = int(payload.get("last_seq", 0))
+
+    def _load_wal(self) -> None:
+        try:
+            lines = self.wal_path.read_text(encoding="utf-8").splitlines()
+        except FileNotFoundError:
+            return
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+            if not isinstance(header, dict):
+                raise ValueError("WAL header is not an object")
+        except (json.JSONDecodeError, ValueError) as error:
+            raise StoreCorruptionError(
+                f"WAL {self.wal_path} has an unreadable header: {error}"
+            ) from error
+        self._check_format(header.get("format"), self.wal_path)
+        self._bind_n_records_value(header.get("n_records"), "the WAL header")
+        snapshot_seq = self._seq
+        for lineno, line in enumerate(lines[1:], start=2):
+            try:
+                seq, code, answer = json.loads(line)
+                seq, code, answer = int(seq), int(code), bool(answer)
+            except (json.JSONDecodeError, TypeError, ValueError):
+                # A torn append (crash mid-write) leaves a truncated or
+                # garbled tail; everything at and after the first bad line
+                # is suspect, so replay stops here.  Losing the unflushed
+                # tail of a crashed run is the documented WAL guarantee.
+                dropped = len(lines) - lineno + 1
+                warnings.warn(
+                    f"answer store WAL {self.wal_path}: corrupt entry at line "
+                    f"{lineno}; dropping {dropped} trailing line(s) "
+                    "(torn write from an interrupted run)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                # Rewrite the log without the torn tail before any append can
+                # land after it — otherwise votes flushed by *this* run would
+                # sit behind the bad line and be dropped by the next load.
+                self._rewrite_wal(lines[: lineno - 1])
+                break
+            self._seq = max(self._seq, seq)
+            if seq <= snapshot_seq:
+                continue  # already folded into the snapshot by a compaction
+            self._tally(code, answer)
+
+    def _rewrite_wal(self, lines: List[str]) -> None:
+        """Atomically replace the WAL with *lines* (used by torn-tail repair)."""
+        tmp = self.wal_path.with_name(f".{WAL_NAME}.tmp.{os.getpid()}")
+        tmp.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+        os.replace(tmp, self.wal_path)
+
+    def _load(self) -> None:
+        self._load_snapshot()
+        self._load_wal()
+
+    def _tally(self, code: int, answer: bool) -> None:
+        pair = self._votes.get(code)
+        if pair is None:
+            self._votes[code] = [int(answer), int(not answer)]
+        else:
+            pair[0 if answer else 1] += 1
+
+    # -- record-count binding -------------------------------------------------
+
+    def bind_n_records(self, n: int) -> None:
+        """Pin the record count the stored codes are computed against.
+
+        Called by every attaching :class:`~repro.store.oracle.StoredOracle`;
+        the first caller fixes the value (persisted with the next write), and
+        later callers with a different *n* are rejected — their codes would
+        silently collide with the stored ones.
+        """
+        self._bind_n_records_value(int(n), "this oracle")
+
+    # -- write path -----------------------------------------------------------
+
+    def _open_wal(self) -> IO[str]:
+        if self._wal is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fresh = not self.wal_path.exists() or self.wal_path.stat().st_size == 0
+            handle = self.wal_path.open("a", encoding="utf-8")
+            # Advisory single-writer lock (held until close/compact): a
+            # second concurrent writer would append behind the first one's
+            # compaction `os.replace` and silently lose its votes, so turn
+            # that scenario into an immediate, explicit error instead.
+            # Readers never take the lock; sharing across *successive* runs
+            # is unaffected.
+            if fcntl is not None:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError:
+                    handle.close()
+                    raise StoreError(
+                        f"store at {self.directory} is being written by another "
+                        "process; one writer at a time (close it, or use a "
+                        "separate store directory)"
+                    ) from None
+            self._wal = handle
+            if fresh:
+                self._wal.write(self._header_line())
+                self._wal.flush()
+        return self._wal
+
+    def _header_line(self) -> str:
+        header = {"format": STORE_FORMAT_VERSION, "n_records": self.n_records}
+        return json.dumps(header) + "\n"
+
+    def add_vote(self, code: int, answer: bool) -> None:
+        """Append one vote durably and fold it into the in-memory tally."""
+        self.add_votes([int(code)], [bool(answer)])
+
+    def add_votes(self, codes: Iterable[int], answers: Iterable[bool]) -> None:
+        """Append a batch of votes: one WAL flush, one tally pass.
+
+        The WAL line for a vote is written *before* the in-memory tally is
+        updated, so a crash can lose votes but never invent them.
+        """
+        codes = [int(c) for c in codes]
+        answers = [bool(a) for a in answers]
+        if len(codes) != len(answers):
+            raise InvalidParameterError(
+                f"add_votes needs one answer per code, got {len(codes)} codes "
+                f"and {len(answers)} answers"
+            )
+        if not codes:
+            return
+        wal = self._open_wal()
+        for code, answer in zip(codes, answers):
+            self._seq += 1
+            wal.write(json.dumps([self._seq, code, int(answer)]) + "\n")
+        wal.flush()
+        for code, answer in zip(codes, answers):
+            self._tally(code, answer)
+        self._appends_since_compact += len(codes)
+        if self.compact_every and self._appends_since_compact >= self.compact_every:
+            self.compact()
+
+    # -- read path ------------------------------------------------------------
+
+    def votes(self, code: int) -> Tuple[int, int]:
+        """The ``(yes, no)`` vote counts of one key (``(0, 0)`` when unseen)."""
+        pair = self._votes.get(int(code))
+        return (pair[0], pair[1]) if pair else (0, 0)
+
+    def lookup(self, code: int) -> Optional[bool]:
+        """Resolved canonical answer for *code*, or ``None`` when unresolved."""
+        pair = self._votes.get(int(code))
+        if pair is None:
+            return None
+        return majority_readout(pair[0], pair[1], self.replication, self.confidence)
+
+    def lookup_batch(self, codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`lookup`: ``(resolved_mask, answers)`` arrays.
+
+        ``answers`` is only meaningful where ``resolved_mask`` is true.
+        """
+        m = len(codes)
+        resolved = np.zeros(m, dtype=bool)
+        answers = np.zeros(m, dtype=bool)
+        votes = self._votes
+        replication, confidence = self.replication, self.confidence
+        for pos, code in enumerate(codes.tolist()):
+            pair = votes.get(code)
+            if pair is None:
+                continue
+            answer = majority_readout(pair[0], pair[1], replication, confidence)
+            if answer is not None:
+                resolved[pos] = True
+                answers[pos] = answer
+        return resolved, answers
+
+    # -- maintenance ----------------------------------------------------------
+
+    def compact(self) -> Path:
+        """Fold the WAL into a fresh snapshot and truncate the log.
+
+        Crash-safe in both windows: the snapshot lands atomically and records
+        ``last_seq``, so if the process dies before the WAL is reset the next
+        load replays only the votes the snapshot has not already folded in.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": STORE_FORMAT_VERSION,
+            "n_records": self.n_records,
+            "last_seq": self._seq,
+            "n_keys": len(self._votes),
+            "votes": {str(code): pair for code, pair in self._votes.items()},
+        }
+        tmp = self.snapshot_path.with_name(f".{SNAPSHOT_NAME}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, self.snapshot_path)
+        # Reset the WAL to a fresh header, atomically; sequence numbers keep
+        # increasing across the reset so snapshot/WAL replay stays idempotent.
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+        tmp_wal = self.wal_path.with_name(f".{WAL_NAME}.tmp.{os.getpid()}")
+        tmp_wal.write_text(self._header_line(), encoding="utf-8")
+        os.replace(tmp_wal, self.wal_path)
+        self._appends_since_compact = 0
+        return self.snapshot_path
+
+    def clean(self) -> int:
+        """Delete the store's on-disk files; returns how many were removed."""
+        self.close()
+        removed = 0
+        for path in (self.wal_path, self.snapshot_path):
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                pass
+        self._votes = {}
+        self._seq = 0
+        self._appends_since_compact = 0
+        return removed
+
+    def close(self) -> None:
+        """Flush and close the WAL handle (the store can be reused after)."""
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def __enter__(self) -> "AnswerStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._votes)
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def n_votes(self) -> int:
+        """Total votes across all keys."""
+        return sum(pair[0] + pair[1] for pair in self._votes.values())
+
+    @property
+    def n_resolved(self) -> int:
+        """Keys currently able to serve an answer under the readout policy."""
+        return sum(
+            1
+            for pair in self._votes.values()
+            if majority_readout(pair[0], pair[1], self.replication, self.confidence)
+            is not None
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """Plain-dict store statistics (the ``python -m repro.store stats`` payload)."""
+
+        def _size(path: Path) -> int:
+            try:
+                return path.stat().st_size
+            except FileNotFoundError:
+                return 0
+
+        return {
+            "directory": str(self.directory),
+            "format": STORE_FORMAT_VERSION,
+            "n_records": self.n_records,
+            "replication": self.replication,
+            "confidence": self.confidence,
+            "n_keys": len(self._votes),
+            "n_votes": self.n_votes,
+            "n_resolved": self.n_resolved,
+            "wal_bytes": _size(self.wal_path),
+            "snapshot_bytes": _size(self.snapshot_path),
+            "last_seq": self._seq,
+        }

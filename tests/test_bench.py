@@ -25,7 +25,7 @@ from repro.exceptions import InvalidParameterError
 
 class TestPlanning:
     def test_suites_and_specs_registered(self):
-        assert BENCH_SUITES == ("scaling", "batch", "service")
+        assert BENCH_SUITES == ("scaling", "batch", "service", "store")
         assert set(bench_spec_names("scaling")) == {
             "count_max",
             "greedy_kcenter",
@@ -36,10 +36,18 @@ class TestPlanning:
             "pair_distances_batch",
         }
         assert set(bench_spec_names("service")) == {"service_throughput"}
+        assert set(bench_spec_names("store")) == {"store_dedup"}
 
     def test_service_quick_grid_keeps_the_16_session_point(self):
         cells = plan_cells("service", quick=True)
         assert {c.params["sessions"] for c in cells} == {16}
+
+    def test_store_quick_grid_keeps_at_least_4_sessions(self):
+        # The acceptance point: cross-session hit rate is reported at >= 4
+        # concurrent sessions, in both replication regimes.
+        cells = plan_cells("store", quick=True)
+        assert cells and all(c.params["sessions"] >= 4 for c in cells)
+        assert {c.params["replication"] for c in cells} == {1, 3}
 
     def test_plan_is_deterministic(self):
         a = plan_cells("scaling", quick=True, n_seeds=2, base_seed=5)

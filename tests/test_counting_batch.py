@@ -231,7 +231,7 @@ def test_summary_without_tags():
     counter = QueryCounter()
     counter.record()
     counter.record(cached=True)
-    assert counter.summary() == "2 queries (1 charged, 1 cached)"
+    assert counter.summary() == "2 queries (1 charged, 1 cached, 50.0% hit rate)"
 
 
 def test_summary_with_tags_sorted():
@@ -239,5 +239,50 @@ def test_summary_with_tags_sorted():
     counter.record_batch(3, tag="farthest")
     counter.record_batch(2, n_cached=1, tag="assign")
     assert counter.summary() == (
-        "5 queries (4 charged, 1 cached) [assign=2, farthest=3]"
+        "5 queries (4 charged, 1 cached, 20.0% hit rate) "
+        "[assign=2 (50.0% hit), farthest=3 (0.0% hit)]"
     )
+
+
+class TestHitRate:
+    def test_zero_queries_zero_rate(self):
+        counter = QueryCounter()
+        assert counter.hit_rate == 0.0
+        assert counter.tag_hit_rate("missing") == 0.0
+        assert counter.snapshot()["hit_rate"] == 0.0
+
+    def test_snapshot_reports_overall_and_per_tag_rates(self):
+        counter = QueryCounter()
+        counter.record_batch(8, n_cached=2, tag="assign")
+        counter.record(cached=True, tag="farthest")
+        counter.record(tag="farthest")
+        snap = counter.snapshot()
+        assert snap["hit_rate"] == pytest.approx(3 / 10)
+        assert snap["hit_rate:assign"] == pytest.approx(2 / 8)
+        assert snap["hit_rate:farthest"] == pytest.approx(1 / 2)
+        assert counter.tag_hit_rate("assign") == pytest.approx(2 / 8)
+
+    def test_scalar_and_batch_paths_agree_on_tag_hits(self):
+        batched = QueryCounter()
+        scalar = QueryCounter()
+        batched.record_batch(6, cached_mask=[True, False, True, False, False, True], tag="t")
+        for cached in (True, False, True, False, False, True):
+            scalar.record(cached=cached, tag="t")
+        assert batched.snapshot() == scalar.snapshot()
+        assert batched.cached_by_tag == {"t": 3}
+
+    def test_overrun_prefix_preserves_per_tag_hit_accounting(self):
+        mask = [True, False, True, False, False, False]
+        scalar = _scalar_overrun_reference(2, mask, tag="t")
+        batched = QueryCounter(budget=2)
+        with pytest.raises(QueryBudgetExceededError):
+            batched.record_batch(6, tag="t", cached_mask=mask)
+        assert batched.snapshot() == scalar.snapshot()
+        assert batched.cached_by_tag == scalar.cached_by_tag
+
+    def test_reset_clears_tag_hits(self):
+        counter = QueryCounter()
+        counter.record(cached=True, tag="t")
+        counter.reset()
+        assert counter.cached_by_tag == {}
+        assert counter.hit_rate == 0.0

@@ -10,6 +10,8 @@ from repro.exceptions import (
     NotAMetricError,
     QueryBudgetExceededError,
     ReproError,
+    StoreCorruptionError,
+    StoreError,
 )
 
 
@@ -22,10 +24,18 @@ from repro.exceptions import (
         NotAMetricError,
         DatasetError,
         ClusteringError,
+        StoreError,
+        StoreCorruptionError,
     ],
 )
 def test_all_exceptions_derive_from_repro_error(exc_class):
     assert issubclass(exc_class, ReproError)
+
+
+def test_store_corruption_is_a_store_error():
+    # Callers guarding a whole store interaction can catch StoreError alone.
+    assert issubclass(StoreCorruptionError, StoreError)
+    assert issubclass(StoreError, RuntimeError)
 
 
 def test_value_errors_are_also_value_errors():

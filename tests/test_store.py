@@ -1,0 +1,725 @@
+"""Tests for the persistent crowd-answer warehouse (`repro.store`).
+
+Covers the on-disk format (WAL + snapshot, crash recovery, versioning),
+vote aggregation and readout, the warehouse-backed oracle wrappers (cold
+bit-identity with the direct path, warm-store query savings, replication),
+the maintenance CLI, and the shared-store integration with the crowd-oracle
+service.  Async service tests reuse the per-test ``asyncio.wait_for`` guard
+convention of ``tests/test_service.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    InvalidParameterError,
+    QueryBudgetExceededError,
+    StoreCorruptionError,
+    StoreError,
+)
+from repro.kcenter.adversarial import kcenter_adversarial
+from repro.maximum.count_max import count_max
+from repro.metric.space import PointCloudSpace
+from repro.oracles.comparison import ValueComparisonOracle
+from repro.oracles.counting import QueryCounter
+from repro.oracles.noise import AdversarialNoise, ExactNoise, ProbabilisticNoise
+from repro.oracles.quadruplet import DistanceQuadrupletOracle
+from repro.service.core import CrowdOracleService, ServiceConfig
+from repro.service.load import run_comparison_load
+from repro.store import (
+    AnswerStore,
+    StoredComparisonOracle,
+    StoredQuadrupletOracle,
+    majority_readout,
+)
+from repro.store.__main__ import main as store_main
+
+#: Per-test asyncio timeout guard, seconds.
+GUARD = 20.0
+
+
+def run_async(coro):
+    """Run *coro* with the suite's timeout guard."""
+    return asyncio.run(asyncio.wait_for(coro, GUARD))
+
+
+def _values(n=40, seed=0):
+    return np.random.default_rng(seed).uniform(0.0, 100.0, size=n)
+
+
+def _space(n=30, seed=4):
+    return PointCloudSpace(np.random.default_rng(seed).normal(size=(n, 2)))
+
+
+class TestMajorityReadout:
+    def test_unresolved_below_replication(self):
+        assert majority_readout(1, 0, replication=2) is None
+        assert majority_readout(1, 0, replication=1) is True
+
+    def test_ties_never_resolve(self):
+        assert majority_readout(2, 2, replication=1) is None
+        assert majority_readout(0, 0) is None
+
+    def test_strict_majority_decides(self):
+        assert majority_readout(3, 1) is True
+        assert majority_readout(1, 4) is False
+
+    def test_confidence_threshold(self):
+        # 3/5 = 60% majority: below a 2/3 confidence bar, above a 1/2 bar.
+        assert majority_readout(3, 2, confidence=2 / 3) is None
+        assert majority_readout(3, 2, confidence=0.5) is True
+        assert majority_readout(5, 1, confidence=2 / 3) is True
+
+
+class TestAnswerStore:
+    def test_votes_accumulate_and_lookup_resolves(self, tmp_path):
+        store = AnswerStore(tmp_path / "s")
+        assert store.lookup(7) is None
+        assert store.votes(7) == (0, 0)
+        store.add_vote(7, True)
+        store.add_vote(7, True)
+        store.add_vote(7, False)
+        assert store.votes(7) == (2, 1)
+        assert store.lookup(7) is True
+        assert len(store) == 1
+        assert store.n_votes == 3
+
+    def test_persistence_across_reopen(self, tmp_path):
+        directory = tmp_path / "s"
+        with AnswerStore(directory, n_records=10) as store:
+            store.add_votes([3, -4, 3], [True, False, True])
+        reopened = AnswerStore(directory)
+        assert reopened.votes(3) == (2, 0)
+        assert reopened.lookup(-4) is False
+        assert reopened.n_records == 10
+        reopened.close()
+
+    def test_lookup_batch_matches_scalar(self, tmp_path):
+        store = AnswerStore(tmp_path / "s", replication=2)
+        store.add_votes([1, 1, 2, 3], [True, True, False, True])
+        codes = np.array([1, 2, 3, 9], dtype=np.int64)
+        resolved, answers = store.lookup_batch(codes)
+        assert resolved.tolist() == [True, False, False, False]  # 2 only has 1 vote
+        assert answers[0]
+        for pos, code in enumerate(codes):
+            scalar = store.lookup(int(code))
+            assert (scalar is not None) == resolved[pos]
+
+    def test_replication_gates_readout(self, tmp_path):
+        store = AnswerStore(tmp_path / "s", replication=3)
+        store.add_vote(5, True)
+        store.add_vote(5, True)
+        assert store.lookup(5) is None
+        store.add_vote(5, False)
+        assert store.lookup(5) is True  # 2-1 majority at 3 votes
+        assert store.n_resolved == 1
+
+    def test_invalid_parameters_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            AnswerStore(tmp_path, replication=0)
+        with pytest.raises(InvalidParameterError):
+            AnswerStore(tmp_path, confidence=1.5)
+        with pytest.raises(InvalidParameterError):
+            AnswerStore(tmp_path, compact_every=-1)
+        store = AnswerStore(tmp_path / "s")
+        with pytest.raises(InvalidParameterError):
+            store.add_votes([1, 2], [True])
+
+    def test_n_records_mismatch_rejected(self, tmp_path):
+        directory = tmp_path / "s"
+        with AnswerStore(directory) as store:
+            store.bind_n_records(40)
+            store.add_vote(1, True)  # persists the header with n_records=40
+        reopened = AnswerStore(directory)
+        with pytest.raises(StoreError, match="n_records"):
+            reopened.bind_n_records(50)
+        reopened.close()
+
+    def test_compact_folds_wal_into_snapshot(self, tmp_path):
+        directory = tmp_path / "s"
+        store = AnswerStore(directory, n_records=20)
+        store.add_votes(list(range(50)), [True] * 50)
+        assert not store.snapshot_path.exists()
+        store.compact()
+        assert store.snapshot_path.exists()
+        # WAL is reset to header-only; a reload sees the same state.
+        wal_lines = store.wal_path.read_text().splitlines()
+        assert len(wal_lines) == 1
+        store.close()
+        reopened = AnswerStore(directory)
+        assert len(reopened) == 50
+        assert reopened.n_votes == 50
+        assert reopened.lookup(17) is True
+        reopened.close()
+
+    def test_interrupted_compaction_never_double_counts(self, tmp_path):
+        # Crash window: snapshot written but the WAL not yet truncated.  The
+        # sequence numbers in the snapshot make WAL replay idempotent.
+        directory = tmp_path / "s"
+        store = AnswerStore(directory)
+        store.add_votes([1, 1, 2], [True, True, False])
+        stale_wal = store.wal_path.read_text()
+        store.compact()
+        store.close()
+        store.wal_path.write_text(stale_wal)  # simulate the un-truncated WAL
+        reopened = AnswerStore(directory)
+        assert reopened.votes(1) == (2, 0)  # not (4, 0)
+        assert reopened.n_votes == 3
+        reopened.close()
+
+    def test_auto_compaction_threshold(self, tmp_path):
+        store = AnswerStore(tmp_path / "s", compact_every=10)
+        store.add_votes(list(range(10)), [True] * 10)
+        assert store.snapshot_path.exists()
+        assert len(store.wal_path.read_text().splitlines()) == 1
+        store.close()
+
+    def test_clean_removes_files(self, tmp_path):
+        directory = tmp_path / "s"
+        store = AnswerStore(directory)
+        store.add_vote(1, True)
+        store.compact()
+        assert store.clean() == 2
+        assert not store.wal_path.exists()
+        assert not store.snapshot_path.exists()
+        assert len(store) == 0
+
+    def test_second_concurrent_writer_rejected(self, tmp_path):
+        fcntl = pytest.importorskip("fcntl")  # advisory lock is POSIX-only
+        assert fcntl
+        directory = tmp_path / "s"
+        writer = AnswerStore(directory)
+        writer.add_vote(1, True)  # holds the WAL write lock
+        rival = AnswerStore(directory)  # reading (loading) is always fine
+        with pytest.raises(StoreError, match="another\\s+process"):
+            rival.add_vote(2, False)
+        writer.close()  # lock released: the rival can write now
+        rival.add_vote(2, False)
+        rival.close()
+
+    def test_stats_payload(self, tmp_path):
+        store = AnswerStore(tmp_path / "s", replication=2, n_records=8)
+        store.add_votes([1, 1, 2], [True, True, False])
+        stats = store.stats()
+        assert stats["n_keys"] == 2
+        assert stats["n_votes"] == 3
+        assert stats["n_resolved"] == 1  # key 2 has a single vote < replication
+        assert stats["n_records"] == 8
+        assert stats["wal_bytes"] > 0
+        store.close()
+
+
+class TestWalRecovery:
+    def _store_with_votes(self, directory):
+        store = AnswerStore(directory)
+        store.add_votes([10, 20, 30], [True, False, True])
+        store.close()
+        return store
+
+    def test_truncated_trailing_line_skipped_with_warning(self, tmp_path):
+        directory = tmp_path / "s"
+        self._store_with_votes(directory)
+        wal = directory / "wal.jsonl"
+        with wal.open("a", encoding="utf-8") as handle:
+            handle.write("[4, 40")  # torn append: no closing bracket, no newline
+        with pytest.warns(RuntimeWarning, match="corrupt entry"):
+            reopened = AnswerStore(directory)
+        assert reopened.n_votes == 3
+        assert reopened.lookup(10) is True
+        reopened.close()
+
+    def test_garbage_trailing_line_skipped_with_warning(self, tmp_path):
+        directory = tmp_path / "s"
+        self._store_with_votes(directory)
+        wal = directory / "wal.jsonl"
+        with wal.open("a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+        with pytest.warns(RuntimeWarning):
+            reopened = AnswerStore(directory)
+        assert reopened.n_votes == 3
+        reopened.close()
+
+    def test_replay_stops_at_first_corrupt_line(self, tmp_path):
+        # Everything after a torn write is suspect: the valid-looking line
+        # after the corrupt one is dropped too, and the warning says so.
+        directory = tmp_path / "s"
+        self._store_with_votes(directory)
+        wal = directory / "wal.jsonl"
+        lines = wal.read_text().splitlines()
+        lines.insert(3, '{"seq": oops')
+        wal.write_text("\n".join(lines) + "\n")
+        with pytest.warns(RuntimeWarning, match=r"dropping 2 trailing line\(s\)"):
+            reopened = AnswerStore(directory)
+        assert reopened.n_votes == 2  # votes for 10 and 20 survive, 30 dropped
+        assert reopened.lookup(30) is None
+        reopened.close()
+
+    def test_recovery_repairs_the_log_so_new_votes_survive(self, tmp_path):
+        # The torn tail is rewritten away during recovery, so votes flushed
+        # *after* a recovery are not stranded behind the bad line: the next
+        # load replays them (no warning, no data loss).
+        directory = tmp_path / "s"
+        self._store_with_votes(directory)
+        (directory / "wal.jsonl").open("a").write("[9")
+        with pytest.warns(RuntimeWarning):
+            store = AnswerStore(directory)
+        store.add_vote(40, True)
+        store.close()
+        again = AnswerStore(directory)  # clean load: tail was repaired
+        assert again.n_votes == 4
+        assert again.lookup(40) is True
+        again.close()
+
+    def test_corrupt_header_raises(self, tmp_path):
+        directory = tmp_path / "s"
+        directory.mkdir()
+        (directory / "wal.jsonl").write_text("garbage header\n[1, 2, 1]\n")
+        with pytest.raises(StoreCorruptionError, match="header"):
+            AnswerStore(directory)
+
+    def test_corrupt_snapshot_raises(self, tmp_path):
+        directory = tmp_path / "s"
+        directory.mkdir()
+        (directory / "snapshot.json").write_text("{truncated")
+        with pytest.raises(StoreCorruptionError, match="snapshot"):
+            AnswerStore(directory)
+
+    def test_future_format_version_rejected(self, tmp_path):
+        directory = tmp_path / "s"
+        directory.mkdir()
+        (directory / "snapshot.json").write_text(
+            json.dumps({"format": 99, "n_records": 5, "last_seq": 0, "votes": {}})
+        )
+        with pytest.raises(StoreError, match="format version"):
+            AnswerStore(directory)
+
+    def test_future_format_with_restructured_votes_is_a_version_error(self, tmp_path):
+        # A v2 snapshot that reshapes the votes payload must report as a
+        # version mismatch (actionable), not as corruption (alarming).
+        directory = tmp_path / "s"
+        directory.mkdir()
+        (directory / "snapshot.json").write_text(
+            json.dumps({"format": 2, "votes": [["1", 1, 0, 0.9]]})
+        )
+        with pytest.raises(StoreError, match="format version") as excinfo:
+            AnswerStore(directory)
+        assert not isinstance(excinfo.value, StoreCorruptionError)
+
+    def test_empty_wal_loads(self, tmp_path):
+        directory = tmp_path / "s"
+        directory.mkdir()
+        (directory / "wal.jsonl").write_text("")
+        store = AnswerStore(directory)
+        assert len(store) == 0
+        store.close()
+
+
+class TestStoredOracles:
+    def test_count_max_cold_store_bit_identical(self, tmp_path):
+        values = _values(40, seed=3)
+        items = list(range(40))
+
+        def direct():
+            oracle = ValueComparisonOracle(
+                values, noise=ProbabilisticNoise(p=0.2, seed=11), counter=QueryCounter()
+            )
+            return count_max(items, oracle, seed=5), oracle.counter.charged_queries
+
+        direct_winner, direct_charged = direct()
+        store = AnswerStore(tmp_path / "s")
+        inner = ValueComparisonOracle(
+            values, noise=ProbabilisticNoise(p=0.2, seed=11), counter=QueryCounter()
+        )
+        wrapped = StoredComparisonOracle(inner, store)
+        assert count_max(items, wrapped, seed=5) == direct_winner
+        assert wrapped.counter.charged_queries == direct_charged
+        store.close()
+
+    def test_kcenter_adversarial_cold_store_bit_identical(self, tmp_path):
+        space = _space()
+
+        def run(oracle):
+            return kcenter_adversarial(oracle, k=4, seed=9)
+
+        direct = run(
+            DistanceQuadrupletOracle(
+                space, noise=AdversarialNoise(mu=0.3, seed=2), counter=QueryCounter()
+            )
+        )
+        store = AnswerStore(tmp_path / "s")
+        inner = DistanceQuadrupletOracle(
+            space, noise=AdversarialNoise(mu=0.3, seed=2), counter=QueryCounter()
+        )
+        served = run(StoredQuadrupletOracle(inner, store))
+        assert served.centers == direct.centers
+        assert served.assignment == direct.assignment
+        store.close()
+
+    def test_warm_store_halves_charged_queries(self, tmp_path):
+        # The acceptance bar: a repeated seeded run against the warm store
+        # must charge at least 50% fewer queries than the cold run (here it
+        # charges none — every query is a warehouse hit).
+        directory = tmp_path / "s"
+        values = _values(40, seed=3)
+        items = list(range(40))
+
+        def run_once(noise_seed):
+            store = AnswerStore(directory)
+            inner = ValueComparisonOracle(
+                values,
+                noise=ProbabilisticNoise(p=0.2, seed=noise_seed),
+                counter=QueryCounter(),
+            )
+            wrapped = StoredComparisonOracle(inner, store, counter=QueryCounter())
+            winner = count_max(items, wrapped, seed=5)
+            store.close()
+            return winner, wrapped.counter
+
+        cold_winner, cold_counter = run_once(noise_seed=11)
+        warm_winner, warm_counter = run_once(noise_seed=77)  # different crowd!
+        assert warm_winner == cold_winner  # the warehouse answers, not the new crowd
+        assert cold_counter.charged_queries > 0
+        assert warm_counter.charged_queries * 2 <= cold_counter.charged_queries
+        assert warm_counter.charged_queries == 0
+        assert warm_counter.hit_rate == 1.0
+
+    def test_warm_store_kcenter_charges_nothing(self, tmp_path):
+        directory = tmp_path / "s"
+        space = _space()
+
+        def run_once(noise_seed):
+            store = AnswerStore(directory)
+            inner = DistanceQuadrupletOracle(
+                space, noise=AdversarialNoise(mu=0.3, seed=noise_seed), counter=QueryCounter()
+            )
+            wrapped = StoredQuadrupletOracle(inner, store, counter=QueryCounter())
+            result = kcenter_adversarial(wrapped, k=4, seed=9)
+            store.close()
+            return result, wrapped.counter
+
+        cold, cold_counter = run_once(2)
+        warm, warm_counter = run_once(123)
+        assert warm.centers == cold.centers
+        assert warm_counter.charged_queries * 2 <= cold_counter.charged_queries
+        assert warm_counter.cached_queries == cold_counter.total_queries
+
+    def test_scalar_and_batch_paths_equivalent(self, tmp_path):
+        values = _values(25, seed=6)
+        rng = np.random.default_rng(8)
+        i = rng.integers(0, 25, size=120)
+        j = rng.integers(0, 25, size=120)
+
+        def build(directory):
+            store = AnswerStore(directory)
+            inner = ValueComparisonOracle(
+                values, noise=ProbabilisticNoise(p=0.25, seed=4), counter=QueryCounter()
+            )
+            return store, StoredComparisonOracle(inner, store, counter=QueryCounter())
+
+        store_a, scalar_oracle = build(tmp_path / "a")
+        scalar_answers = [scalar_oracle.compare(int(a), int(b)) for a, b in zip(i, j)]
+        store_b, batch_oracle = build(tmp_path / "b")
+        batch_answers = batch_oracle.compare_batch(i, j)
+        assert batch_answers.tolist() == scalar_answers
+        assert batch_oracle.counter.snapshot() == scalar_oracle.counter.snapshot()
+        store_a.close()
+        store_b.close()
+
+    def test_orientation_consistency_served_from_store(self, tmp_path):
+        store = AnswerStore(tmp_path / "s")
+        inner = ValueComparisonOracle(
+            _values(), noise=ProbabilisticNoise(p=0.4, seed=0), counter=QueryCounter()
+        )
+        wrapped = StoredComparisonOracle(inner, store)
+        first = wrapped.compare(2, 5)
+        assert wrapped.compare(5, 2) == (not first)  # reversed reads the same vote
+        assert wrapped.counter.cached_queries == 1
+        store.close()
+
+    def test_self_comparisons_free_and_unstored(self, tmp_path):
+        store = AnswerStore(tmp_path / "s")
+        wrapped = StoredComparisonOracle(
+            ValueComparisonOracle(_values(), noise=ExactNoise()), store
+        )
+        assert wrapped.compare(4, 4) is True
+        assert wrapped.compare_batch([3, 3], [3, 3]).tolist() == [True, True]
+        assert wrapped.counter.total_queries == 0
+        assert len(store) == 0
+        store.close()
+
+    def test_out_of_range_index_rejected(self, tmp_path):
+        store = AnswerStore(tmp_path / "s")
+        wrapped = StoredComparisonOracle(
+            ValueComparisonOracle(_values(10), noise=ExactNoise()), store
+        )
+        with pytest.raises(InvalidParameterError):
+            wrapped.compare(0, 11)
+        with pytest.raises(InvalidParameterError):
+            wrapped.compare_batch([0, 1], [2, 99])
+        store.close()
+
+    def test_replication_recharges_until_resolved(self, tmp_path):
+        # With replication=3 the same scalar query pays the crowd three
+        # times (three votes), then becomes a warehouse hit.
+        store = AnswerStore(tmp_path / "s", replication=3)
+        inner = ValueComparisonOracle(
+            _values(),
+            noise=ProbabilisticNoise(p=0.3, seed=1, persistent=False),
+            counter=QueryCounter(),
+            cache_answers=False,  # independent votes need an un-memoised crowd
+        )
+        wrapped = StoredComparisonOracle(inner, store, counter=QueryCounter())
+        for _ in range(3):
+            wrapped.compare(1, 2)
+        assert wrapped.counter.charged_queries == 3
+        assert wrapped.counter.cached_queries == 0
+        answer = wrapped.compare(1, 2)  # fourth ask: resolved, served free
+        assert wrapped.counter.cached_queries == 1
+        yes, no = store.votes(store_code := -(1 * len(inner) + 2) - 1)
+        assert yes + no == 3
+        assert answer == (yes > no)
+        assert store.lookup(store_code) == answer
+        store.close()
+
+    def test_majority_vote_reduces_noise(self, tmp_path):
+        # 5-vote majority over an independent p=0.35 crowd must beat a
+        # single noisy answer.  Deterministic given the seeds.
+        values = _values(400, seed=9)
+        pairs_i = np.arange(0, 398, 2)
+        pairs_j = pairs_i + 1
+        truth = values[pairs_i] <= values[pairs_j]
+
+        def errors(replication, noise_seed):
+            store = AnswerStore(tmp_path / f"r{replication}", replication=replication)
+            inner = ValueComparisonOracle(
+                values,
+                noise=ProbabilisticNoise(p=0.35, seed=noise_seed, persistent=False),
+                counter=QueryCounter(),
+                cache_answers=False,
+            )
+            wrapped = StoredComparisonOracle(inner, store, counter=QueryCounter())
+            for _ in range(replication):
+                wrapped.compare_batch(pairs_i, pairs_j)
+            answers = wrapped.compare_batch(pairs_i, pairs_j)  # all resolved now
+            assert wrapped.counter.cached_queries >= len(pairs_i)
+            store.close()
+            return int(np.count_nonzero(answers != truth))
+
+        single = errors(1, noise_seed=5)
+        majority = errors(5, noise_seed=5)
+        assert majority < single
+        assert majority / len(pairs_i) < 0.35  # below the raw noise rate
+
+    def test_store_keys_match_inner_oracle_cache_keys(self, tmp_path):
+        # Load-bearing invariant: the warehouse keys a query by the same
+        # canonical int code the inner oracle uses for its answer cache and
+        # noise persistence.  If the two encodings ever diverge, cold-store
+        # bit-identity silently breaks — this pins them together for both
+        # query kinds (comparison codes negative, quadruplet non-negative).
+        values = _values(20, seed=1)
+        rng = np.random.default_rng(2)
+        store_c = AnswerStore(tmp_path / "c")
+        inner_c = ValueComparisonOracle(
+            values, noise=ProbabilisticNoise(p=0.2, seed=3), counter=QueryCounter()
+        )
+        StoredComparisonOracle(inner_c, store_c).compare_batch(
+            rng.integers(0, 20, 60), rng.integers(0, 20, 60)
+        )
+        assert set(store_c._votes) == set(inner_c._answer_cache)
+        assert all(code < 0 for code in store_c._votes)
+        store_c.close()
+
+        space = _space(20, seed=1)
+        store_q = AnswerStore(tmp_path / "q")
+        inner_q = DistanceQuadrupletOracle(
+            space, noise=ProbabilisticNoise(p=0.2, seed=3), counter=QueryCounter()
+        )
+        StoredQuadrupletOracle(inner_q, store_q).compare_batch(
+            *(rng.integers(0, 20, 60) for _ in range(4))
+        )
+        assert set(store_q._votes) == set(inner_q._answer_cache)
+        assert all(code >= 0 for code in store_q._votes)
+        store_q.close()
+
+    def test_len_less_inner_oracle_rejected_clearly(self, tmp_path):
+        from repro.oracles.base import FunctionComparisonOracle
+
+        store = AnswerStore(tmp_path / "s")
+        with pytest.raises(InvalidParameterError, match="sized inner oracle"):
+            StoredComparisonOracle(FunctionComparisonOracle(lambda i, j: True), store)
+        store.close()
+
+    def test_stored_quadruplet_scalar_batch_equivalence(self, tmp_path):
+        space = _space(15, seed=2)
+        rng = np.random.default_rng(3)
+        quads = rng.integers(0, 15, size=(4, 80))
+
+        def build(directory):
+            store = AnswerStore(directory)
+            inner = DistanceQuadrupletOracle(
+                space, noise=ProbabilisticNoise(p=0.2, seed=7), counter=QueryCounter()
+            )
+            return store, StoredQuadrupletOracle(inner, store, counter=QueryCounter())
+
+        store_a, scalar_oracle = build(tmp_path / "a")
+        scalar = [
+            scalar_oracle.compare(int(a), int(b), int(c), int(d))
+            for a, b, c, d in zip(*quads)
+        ]
+        store_b, batch_oracle = build(tmp_path / "b")
+        batched = batch_oracle.compare_batch(*quads)
+        assert batched.tolist() == scalar
+        assert batch_oracle.counter.snapshot() == scalar_oracle.counter.snapshot()
+        store_a.close()
+        store_b.close()
+
+
+class TestStoreCli:
+    def _populate(self, directory):
+        with AnswerStore(directory, n_records=12) as store:
+            store.add_votes([1, 1, 5], [True, True, False])
+
+    def test_stats_human_and_json(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        self._populate(directory)
+        assert store_main(["stats", "--dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "keys: 2" in out and "votes: 3" in out
+        assert store_main(["stats", "--dir", directory, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_keys"] == 2
+        assert payload["n_votes"] == 3
+
+    def test_compact_and_clean(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        self._populate(directory)
+        assert store_main(["compact", "--dir", directory]) == 0
+        assert "compacted 2 key(s)" in capsys.readouterr().out
+        assert (tmp_path / "s" / "snapshot.json").exists()
+        # clean refuses without --yes, then removes both files with it.
+        assert store_main(["clean", "--dir", directory]) == 2
+        assert store_main(["clean", "--dir", directory, "--yes"]) == 0
+        assert not (tmp_path / "s" / "wal.jsonl").exists()
+
+    def test_no_command_prints_help(self, capsys):
+        assert store_main([]) == 2
+
+    def test_invalid_replication_reports_cli_error(self, tmp_path, capsys):
+        rc = store_main(["stats", "--dir", str(tmp_path / "s"), "--replication", "0"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServiceIntegration:
+    def test_concurrent_sessions_share_the_warehouse(self, tmp_path):
+        async def scenario():
+            values = _values(30, seed=1)
+            backend = ValueComparisonOracle(
+                values, noise=ExactNoise(), counter=QueryCounter()
+            )
+            store = AnswerStore(tmp_path / "s")
+            config = ServiceConfig(batch_window=0.005, latency=0.001)
+            async with CrowdOracleService(
+                comparison=backend, config=config, store=store
+            ) as service:
+                report = await run_comparison_load(
+                    service,
+                    n_sessions=4,
+                    queries_per_session=20,
+                    n_records=30,
+                    seed=3,
+                    shared_stream=True,
+                )
+            store.close()
+            return report
+
+        report = run_async(scenario())
+        distinct = report["charged_queries"]
+        # Whatever the interleaving, the totals are deterministic: each
+        # distinct query is paid for exactly once across all four sessions.
+        assert 0 < distinct < report["n_queries"]
+        assert report["cached_queries"] == report["n_queries"] - distinct
+        assert sum(s["charged_queries"] for s in report["sessions"]) == distinct
+        assert any(s["cached_queries"] > 0 for s in report["sessions"])
+
+    def test_second_service_run_is_all_hits(self, tmp_path):
+        async def one_run(noise_seed):
+            values = _values(30, seed=1)
+            backend = ValueComparisonOracle(
+                values,
+                noise=ProbabilisticNoise(p=0.2, seed=noise_seed),
+                counter=QueryCounter(),
+            )
+            store = AnswerStore(tmp_path / "s")
+            async with CrowdOracleService(
+                comparison=backend, config=ServiceConfig(), store=store
+            ) as service:
+                report = await run_comparison_load(
+                    service,
+                    n_sessions=4,
+                    queries_per_session=15,
+                    n_records=30,
+                    seed=3,
+                    shared_stream=True,
+                )
+            store.close()
+            return report
+
+        cold = run_async(one_run(noise_seed=1))
+        warm = run_async(one_run(noise_seed=2))
+        assert warm["charged_queries"] == 0
+        assert warm["cached_queries"] == warm["n_queries"]
+        # Same answers, although the warm run's crowd is seeded differently:
+        # the warehouse answers, not the crowd.
+        assert warm["yes_answers"] == cold["yes_answers"]
+        assert warm["charged_queries"] * 2 <= cold["charged_queries"]
+
+    def test_warehouse_hits_do_not_consume_budget(self, tmp_path):
+        async def scenario():
+            values = _values(30, seed=1)
+            backend = ValueComparisonOracle(values, noise=ExactNoise())
+            store = AnswerStore(tmp_path / "s")
+            async with CrowdOracleService(
+                comparison=backend, config=ServiceConfig(), store=store
+            ) as service:
+                payer = service.open_session()
+                for k in range(10):
+                    await payer.compare(k, k + 1)
+                # A tightly budgeted session replaying the same queries is
+                # served entirely from the warehouse and never charged.
+                capped = service.open_session(budget=1)
+                for k in range(10):
+                    await capped.compare(k, k + 1)
+                assert capped.counter.charged_queries == 0
+                assert capped.counter.cached_queries == 10
+                # A genuinely fresh query still charges (and here, overruns).
+                await capped.compare(20, 21)
+                with pytest.raises(QueryBudgetExceededError):
+                    await capped.compare(22, 23)
+            store.close()
+
+        run_async(scenario())
+
+    def test_store_with_both_backends_shares_one_keyspace(self, tmp_path):
+        async def scenario():
+            values = _values(18, seed=0)
+            space = _space(18, seed=0)
+            store = AnswerStore(tmp_path / "s")
+            async with CrowdOracleService(
+                comparison=ValueComparisonOracle(values, noise=ExactNoise()),
+                quadruplet=DistanceQuadrupletOracle(space, noise=ExactNoise()),
+                store=store,
+            ) as service:
+                session = service.open_session()
+                assert await session.compare(0, 1) == (values[0] <= values[1])
+                expected = space.distance(0, 1) <= space.distance(2, 3)
+                assert await session.quadruplet(0, 1, 2, 3) == expected
+                assert len(store) == 2  # one negative, one non-negative key
+            store.close()
+
+        run_async(scenario())
