@@ -42,12 +42,15 @@ run_lint() {
 
 run_bench() {
     echo "== bench smoke: pytest benchmarks -q -k 'smoke or batch' =="
+    # Includes benchmarks/test_store_scale_smoke.py: the sharded warehouse
+    # must serve warm strictly faster than the direct oracle and clear the
+    # cold-append throughput floor.
     python -m pytest benchmarks -q -s -k "smoke or batch" --benchmark-disable
     echo "== bench suite: python -m repro.bench run --quick =="
     # Writes BENCH_scaling.json + BENCH_batch.json + BENCH_service.json (the
     # crowd-service throughput/latency suite) + BENCH_store.json (the answer
-    # warehouse's cross-session hit-rate / query-savings suite) at the repo
-    # root.
+    # warehouse: cross-session dedup cells plus the store_scale raw
+    # throughput cells) at the repo root.
     python -m repro.bench run --quick
 }
 

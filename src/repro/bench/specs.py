@@ -254,3 +254,24 @@ register(
         },
     )
 )
+register(
+    BenchSpec(
+        name="store_scale",
+        suite="store",
+        runner=workloads.run_store_scale,
+        description="Raw sharded-warehouse throughput: cold append, WAL replay, warm index",
+        # Shard-count x fsync-policy grid: 0ms = sync="always" (the
+        # no-group-commit baseline), positive windows batch fsyncs.
+        grid={
+            "n_shards": [1, 4, 16],
+            "group_commit_ms": [0.0, 5.0, 50.0],
+        },
+        # CI scale keeps one always-fsync cell and the default-shaped
+        # group-commit cell, at a fraction of the query volume.
+        quick_grid={
+            "n_shards": [8],
+            "group_commit_ms": [0.0, 5.0],
+            "n_queries": [6000],
+        },
+    )
+)

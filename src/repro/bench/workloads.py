@@ -49,6 +49,7 @@ from repro.rng import ensure_rng, sample_without_replacement
 from repro.oracles.noise import ProbabilisticNoise
 from repro.service.core import CrowdOracleService, ServiceConfig
 from repro.service.load import run_comparison_load
+from repro.store.oracle import StoredComparisonOracle
 from repro.store.warehouse import AnswerStore
 
 #: Dimension of the synthetic benchmark clouds.
@@ -292,6 +293,15 @@ def run_store_dedup(
     The charged/hit splits are deterministic given ``(params, seed)``
     regardless of event-loop interleaving (who pays first varies, the totals
     do not); wall-clock numbers land under ``"measured"``.
+
+    Opening the store (WAL replay into the read index) is timed separately
+    from serving: ``*_open_seconds`` is the one-off replay cost per phase,
+    ``*_throughput_qps`` is steady-state serving with the store already
+    open, and ``warm_throughput_qps_amortized`` folds the warm phase's open
+    back in — the figure a short-lived rerun actually observes.  Earlier
+    revisions reported neither and the open cost plus a per-micro-batch
+    simulated-latency charge on all-hit batches pinned ``warm_speedup`` at
+    ≈ 1.0 no matter how warm the store was.
     """
     values = ensure_rng(seed).uniform(0.0, 100.0, size=int(n_records))
     n_queries = int(sessions) * int(queries_per_session)
@@ -308,7 +318,9 @@ def run_store_dedup(
             counter=QueryCounter(),
             cache_answers=False,
         )
+        open_start = time.perf_counter()
         store = AnswerStore(directory, replication=int(replication))
+        open_seconds = time.perf_counter() - open_start
         config = ServiceConfig(
             batch_window=batch_window_ms / 1000.0,
             max_inflight=1,
@@ -330,9 +342,11 @@ def run_store_dedup(
                 )
 
         try:
-            return asyncio.run(scenario())
+            report = asyncio.run(scenario())
         finally:
             store.close()
+        report["measured"]["store_open_seconds"] = open_seconds
+        return report
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
         cold = run_phase(tmp, phase_seed=seed)
@@ -352,9 +366,167 @@ def run_store_dedup(
         "measured": {
             "cold_wall_seconds": cold["measured"]["wall_seconds"],
             "warm_wall_seconds": warm["measured"]["wall_seconds"],
+            "cold_open_seconds": cold["measured"]["store_open_seconds"],
+            "warm_open_seconds": warm["measured"]["store_open_seconds"],
+            # Steady state: serving only, the store already open.
             "cold_throughput_qps": cold["measured"]["throughput_qps"],
             "warm_throughput_qps": warm["measured"]["throughput_qps"],
+            # Open-amortised: what a short-lived rerun observes end to end.
+            "warm_throughput_qps_amortized": n_queries
+            / max(
+                warm["measured"]["store_open_seconds"]
+                + warm["measured"]["wall_seconds"],
+                1e-9,
+            ),
             "warm_speedup": cold["measured"]["wall_seconds"]
             / max(warm["measured"]["wall_seconds"], 1e-9),
+            "warm_speedup_amortized": (
+                cold["measured"]["store_open_seconds"]
+                + cold["measured"]["wall_seconds"]
+            )
+            / max(
+                warm["measured"]["store_open_seconds"]
+                + warm["measured"]["wall_seconds"],
+                1e-9,
+            ),
+        },
+    }
+
+
+def run_store_scale(
+    n_shards: int = 8,
+    group_commit_ms: float = 5.0,
+    n_queries: int = 20_000,
+    n_records: int = 512,
+    chunk: int = 2048,
+    noise_p: float = 0.1,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Raw warehouse throughput versus the direct oracle path, by shard layout.
+
+    ``run_store_dedup`` measures the warehouse *through* the asyncio service,
+    so its numbers are dominated by batching windows and simulated crowd
+    latency.  This workload benches the storage layer itself — a
+    :class:`~repro.store.oracle.StoredComparisonOracle` driven synchronously
+    with ``chunk``-sized ``compare_batch`` calls, no event loop, no sleeps —
+    across the two knobs the sharded format added:
+
+    * ``n_shards`` — how the keyspace is split into WAL+snapshot segments;
+    * ``group_commit_ms`` — the fsync-batching window.  ``0`` means
+      ``sync="always"`` (one fsync per append batch, the no-group-commit
+      baseline); positive values use ``sync="group"`` with that window.
+
+    Four timed phases over one uniform query stream (repeats included, so
+    the warm phase is meaningful):
+
+    * **direct** — the inner oracle alone, persistent probabilistic noise,
+      no store.  The baseline the warehouse must beat warm.
+    * **cold** — an empty store; every distinct query is appended and
+      group-committed.  Ends with a ``flush()`` so the WAL durability cost
+      is inside the clock.
+    * **open** — closing and reopening the store, i.e. WAL replay into the
+      read index.  Timed on its own so warm throughput is steady-state.
+    * **warm** — the reopened store serves the whole stream from the
+      in-memory index; the inner oracle is never consulted.
+
+    Answers are deterministic and identical across the three serving phases
+    (the cold-store determinism contract plus majority readout at
+    ``replication=1``); ``outputs_identical`` asserts it.  Wall-clock
+    figures land under ``"measured"``.
+    """
+    n_queries = int(n_queries)
+    n_records = int(n_records)
+    rng = ensure_rng(seed)
+    values = rng.uniform(0.0, 100.0, size=n_records)
+    left = rng.integers(0, n_records, size=n_queries)
+    right = rng.integers(0, n_records, size=n_queries)
+    clash = left == right
+    # Self-comparisons are answered trivially without touching the store;
+    # nudge them off the diagonal so every query exercises the serving path.
+    right[clash] = (left[clash] + 1) % n_records
+
+    def make_backend() -> ValueComparisonOracle:
+        # Same seed for every phase: the cold wrapper forwards exactly the
+        # first occurrence of each distinct query, so with one shared noise
+        # stream the direct, cold and warm phases must agree answer for
+        # answer (cache_answers=False keeps the store the only dedup layer).
+        return ValueComparisonOracle(
+            values,
+            noise=ProbabilisticNoise(p=noise_p, seed=seed, persistent=True),
+            counter=QueryCounter(),
+            cache_answers=False,
+        )
+
+    def drive(compare_batch) -> tuple:
+        yes = 0
+        start = time.perf_counter()
+        for lo in range(0, n_queries, int(chunk)):
+            out = compare_batch(
+                left[lo : lo + int(chunk)], right[lo : lo + int(chunk)]
+            )
+            yes += int(np.count_nonzero(out))
+        return yes, time.perf_counter() - start
+
+    sync_mode = "always" if group_commit_ms <= 0 else "group"
+
+    def open_store(directory: str) -> AnswerStore:
+        return AnswerStore(
+            directory,
+            replication=1,
+            n_shards=int(n_shards),
+            sync=sync_mode,
+            group_commit_window=max(group_commit_ms, 0.0) / 1000.0,
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-scale-") as tmp:
+        direct_yes, direct_wall = drive(make_backend().compare_batch)
+
+        store = open_store(tmp)
+        cold_oracle = StoredComparisonOracle(make_backend(), store)
+        cold_start = time.perf_counter()
+        cold_yes, _ = drive(cold_oracle.compare_batch)
+        store.flush()
+        cold_wall = time.perf_counter() - cold_start
+        cold_counter = cold_oracle.counter
+        stats = store.stats()
+        store.close()
+
+        open_start = time.perf_counter()
+        store = open_store(tmp)
+        open_seconds = time.perf_counter() - open_start
+        warm_oracle = StoredComparisonOracle(make_backend(), store)
+        warm_yes, warm_wall = drive(warm_oracle.compare_batch)
+        warm_counter = warm_oracle.counter
+        store.close()
+
+    direct_qps = n_queries / max(direct_wall, 1e-9)
+    cold_qps = n_queries / max(cold_wall, 1e-9)
+    warm_qps = n_queries / max(warm_wall, 1e-9)
+    return {
+        "n_queries": n_queries,
+        "n_shards": int(n_shards),
+        "group_commit_ms": float(group_commit_ms),
+        "sync_mode": sync_mode,
+        "cold_charged": cold_counter.charged_queries,
+        "cold_hits": cold_counter.cached_queries,
+        "warm_charged": warm_counter.charged_queries,
+        "warm_hits": warm_counter.cached_queries,
+        "outputs_identical": bool(direct_yes == cold_yes == warm_yes),
+        "yes_answers": direct_yes,
+        "n_appends": stats["n_appends"],
+        "n_fsyncs": stats["n_fsyncs"],
+        "measured": {
+            "direct_wall_seconds": direct_wall,
+            "cold_wall_seconds": cold_wall,
+            "open_seconds": open_seconds,
+            "warm_wall_seconds": warm_wall,
+            "direct_qps": direct_qps,
+            "cold_qps": cold_qps,
+            # Steady state (store already open) and open-amortised views.
+            "warm_qps": warm_qps,
+            "warm_qps_amortized": n_queries / max(open_seconds + warm_wall, 1e-9),
+            "warm_vs_direct": warm_qps / max(direct_qps, 1e-9),
+            "cold_vs_direct": cold_qps / max(direct_qps, 1e-9),
+            "appends_per_fsync": stats["n_appends"] / max(stats["n_fsyncs"], 1),
         },
     }

@@ -71,6 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="votes the warehouse needs before serving a key (default 1 = dedup)",
     )
     parser.add_argument(
+        "--store-shards",
+        type=int,
+        default=None,
+        help="shard count when creating (or migrating) the warehouse; an "
+        "existing v2 store's manifest wins (default 8)",
+    )
+    parser.add_argument(
         "--shared-stream",
         action="store_true",
         help="every session issues the same seeded query stream (hot-content "
@@ -93,7 +100,11 @@ async def _run(args) -> int:
     )
     store = None
     if args.store_dir is not None:
-        store = AnswerStore(args.store_dir, replication=args.replication)
+        store = AnswerStore(
+            args.store_dir,
+            replication=args.replication,
+            n_shards=args.store_shards,
+        )
     try:
         async with CrowdOracleService(
             comparison=backend, config=config, store=store

@@ -39,7 +39,10 @@ micro-batch through warehouse-backed oracle wrappers instead: answers the
 store already holds never reach the crowd, fresh answers are persisted as
 votes, and per-session counters then *do* see hits — a session is charged
 only for its true misses, so its counter's hit rate measures how much of its
-traffic other sessions (or earlier runs) already paid for.
+traffic other sessions (or earlier runs) already paid for.  A micro-batch
+the warehouse answers entirely (no fresh votes) skips the simulated crowd
+latency too: nothing was asked, so no round trip is owed.  ``stop()``
+flushes the store's group-commit buffer so acknowledged answers are durable.
 """
 
 from __future__ import annotations
@@ -331,6 +334,10 @@ class CrowdOracleService:
                 leftover.future.set_exception(
                     ServiceClosedError("crowd-oracle service stopped")
                 )
+        if self.store is not None:
+            # Pay any group-commit fsync still pending, so every answer the
+            # service acknowledged is durable when the service is.
+            self.store.flush()
 
     async def __aenter__(self) -> "CrowdOracleService":
         await self.start()
@@ -442,7 +449,14 @@ class CrowdOracleService:
         self.stats.max_batch_size_seen = max(self.stats.max_batch_size_seen, size)
         try:
             if self.store is not None:
+                before_votes = self.store.n_votes
                 admitted, answers = self._serve_via_store(batch)
+                # An all-hit micro-batch appended no fresh votes: every query
+                # was answered from the warehouse's read index, nothing went
+                # to the crowd, so no simulated round trip is owed.  This is
+                # what makes a warm store *faster* than the direct path
+                # instead of merely cheaper.
+                crowd_was_asked = self.store.n_votes > before_votes
             else:
                 # Budget accounting first: a session over budget has its
                 # request failed here and its queries never reach the backend.
@@ -463,10 +477,11 @@ class CrowdOracleService:
                 # (determinism of persistent noise draws depends on
                 # presentation order).
                 answers = self._answer(admitted)
+                crowd_was_asked = True
             latency = self.config.latency
             if self.config.jitter:
                 latency += float(self._rng.random()) * self.config.jitter
-            if latency > 0:
+            if latency > 0 and crowd_was_asked:
                 await asyncio.sleep(latency)
             for request, result in zip(admitted, answers):
                 if not request.future.done():

@@ -6,12 +6,16 @@ the in-memory caches in :mod:`repro.oracles` and the per-session budgets in
 :mod:`repro.service` share nothing across sessions or runs.  The warehouse
 makes answers durable and shared:
 
-* :class:`~repro.store.warehouse.AnswerStore` — an append-only JSONL
-  write-ahead log plus periodically compacted snapshot (atomic replace,
-  versioned format), holding a multiset of noisy votes per canonical query
-  key and answering by majority once a configurable replication factor is
-  reached.  Repeated queries are not just deduplicated: with
-  ``replication > 1`` they *reduce* effective noise.
+* :class:`~repro.store.warehouse.AnswerStore` — a warehouse sharded by key
+  hash into independent WAL+snapshot segments (format v2, versioned,
+  auto-migrating v1 stores on open), holding a multiset of noisy votes per
+  canonical query key and answering by majority once a configurable
+  replication factor is reached.  Appends group-commit (K appends inside
+  the commit window share one fsync), warm reads come from an in-memory
+  index that never touches disk, and per-shard advisory locks let several
+  processes write disjoint shards of one store concurrently.  Repeated
+  queries are not just deduplicated: with ``replication > 1`` they
+  *reduce* effective noise.
 * :class:`~repro.store.oracle.StoredComparisonOracle` /
   :class:`~repro.store.oracle.StoredQuadrupletOracle` — drop-in oracle
   wrappers that consult the warehouse first and charge their
@@ -21,13 +25,16 @@ makes answers durable and shared:
 * Integration with :class:`~repro.service.core.CrowdOracleService`
   (``store=`` parameter): concurrent sessions share one warehouse, and each
   session's counter records its own hit/miss/charged split.
-* ``python -m repro.store`` — ``stats`` / ``compact`` / ``clean``
-  maintenance CLI.
+* ``python -m repro.store`` — ``stats`` / ``compact`` / ``migrate`` /
+  ``clean`` maintenance CLI.
 
-On-disk format, vote semantics and replication-factor guidance:
-``docs/subsystems/store.md``.
+Vote semantics, knobs and the multi-writer contract:
+``docs/subsystems/store.md``.  Byte-level on-disk format:
+``docs/subsystems/store-format.md`` (mirrored by
+:mod:`repro.store.format`).
 """
 
+from repro.store.format import DEFAULT_N_SHARDS, STORE_FORMAT_VERSION, shard_of
 from repro.store.keys import (
     comparison_code,
     comparison_codes,
@@ -36,18 +43,19 @@ from repro.store.keys import (
     quadruplet_codes_fit,
 )
 from repro.store.oracle import StoredComparisonOracle, StoredQuadrupletOracle
-from repro.store.warehouse import (
-    STORE_FORMAT_VERSION,
-    AnswerStore,
-    majority_readout,
-)
+from repro.store.shard import GroupCommitPolicy, StoreShard
+from repro.store.warehouse import AnswerStore, majority_readout
 
 __all__ = [
     "AnswerStore",
+    "DEFAULT_N_SHARDS",
+    "GroupCommitPolicy",
     "majority_readout",
+    "shard_of",
     "STORE_FORMAT_VERSION",
     "StoredComparisonOracle",
     "StoredQuadrupletOracle",
+    "StoreShard",
     "comparison_code",
     "comparison_codes",
     "quadruplet_code",

@@ -2,13 +2,19 @@
 
 Examples
 --------
-Inspect a store directory::
+Inspect a store directory (per-shard breakdown with ``--shards``)::
 
     python -m repro.store stats --dir .repro-store
+    python -m repro.store stats --dir .repro-store --shards
 
-Fold the write-ahead log into a fresh snapshot::
+Fold every shard's write-ahead log into a fresh snapshot::
 
     python -m repro.store compact --dir .repro-store
+
+Migrate a legacy v1 store to the sharded v2 format (any open migrates
+implicitly; this does it explicitly, with a chosen shard count)::
+
+    python -m repro.store migrate --dir .repro-store --shards 16
 
 Delete the store's on-disk files::
 
@@ -23,6 +29,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.exceptions import InvalidParameterError, StoreError
+from repro.store import format as fmt
 from repro.store.warehouse import AnswerStore
 
 #: Default store directory, matching the service CLI's ``--store-dir`` default.
@@ -40,6 +47,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--dir", default=DEFAULT_STORE_DIR, help="store directory")
     p_stats.add_argument("--json", action="store_true", help="machine-readable output")
     p_stats.add_argument(
+        "--shards", action="store_true", help="print a per-shard breakdown"
+    )
+    p_stats.add_argument(
         "--replication",
         type=int,
         default=1,
@@ -47,9 +57,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_compact = sub.add_parser(
-        "compact", help="fold the WAL into a snapshot and truncate the log"
+        "compact", help="fold every shard's WAL into a snapshot and truncate the logs"
     )
     p_compact.add_argument("--dir", default=DEFAULT_STORE_DIR, help="store directory")
+
+    p_migrate = sub.add_parser(
+        "migrate", help="migrate a legacy v1 store to the sharded v2 format"
+    )
+    p_migrate.add_argument("--dir", default=DEFAULT_STORE_DIR, help="store directory")
+    p_migrate.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=f"shard count for the migrated store (default {fmt.DEFAULT_N_SHARDS})",
+    )
 
     p_clean = sub.add_parser("clean", help="delete the store's on-disk files")
     p_clean.add_argument("--dir", default=DEFAULT_STORE_DIR, help="store directory")
@@ -65,15 +86,25 @@ def _cmd_stats(args) -> int:
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
         return 0
-    print(f"store {stats['directory']} (format v{stats['format']})")
+    print(
+        f"store {stats['directory']} (format v{stats['format']}, "
+        f"{stats['n_shards']} shard(s))"
+    )
     print(
         f"  keys: {stats['n_keys']} ({stats['n_resolved']} resolved at "
         f"replication={stats['replication']}), votes: {stats['n_votes']}"
     )
     print(
-        f"  n_records: {stats['n_records']}, last_seq: {stats['last_seq']}, "
+        f"  n_records: {stats['n_records']}, "
         f"wal: {stats['wal_bytes']} B, snapshot: {stats['snapshot_bytes']} B"
     )
+    if args.shards:
+        for row in stats["shards"]:
+            print(
+                f"  shard {row['shard']:4d}: {row['n_keys']} key(s), "
+                f"{row['n_votes']} vote(s), last_seq {row['last_seq']}, "
+                f"wal {row['wal_bytes']} B, snapshot {row['snapshot_bytes']} B"
+            )
     return 0
 
 
@@ -84,8 +115,39 @@ def _cmd_compact(args) -> int:
         after = store.stats()
     print(
         f"store: compacted {after['n_keys']} key(s) / {after['n_votes']} vote(s) "
-        f"into {path} (WAL {before} -> {after['wal_bytes']} B)"
+        f"across {after['n_shards']} shard(s) under {path} "
+        f"(WAL {before} -> {after['wal_bytes']} B)"
     )
+    return 0
+
+
+def _cmd_migrate(args) -> int:
+    from pathlib import Path
+
+    directory = Path(args.dir)
+    already_v2 = fmt.manifest_path(directory).exists()
+    was_v1 = not already_v2 and fmt.is_v1_layout(directory)
+    # Opening performs the migration (it is the same code path every caller
+    # hits); the explicit subcommand exists so operators can pick the shard
+    # count and get a clear report.
+    with AnswerStore(args.dir, n_shards=args.shards) as store:
+        stats = store.stats()
+    if already_v2:
+        print(
+            f"store: {args.dir} is already format v{stats['format']} "
+            f"({stats['n_shards']} shard(s)); nothing to migrate"
+        )
+    elif not was_v1:
+        print(
+            f"store: created {args.dir} fresh at format v{stats['format']} "
+            f"({stats['n_shards']} shard(s)); no v1 store was present"
+        )
+    else:
+        print(
+            f"store: migrated {args.dir} to format v{stats['format']}: "
+            f"{stats['n_keys']} key(s) / {stats['n_votes']} vote(s) across "
+            f"{stats['n_shards']} shard(s)"
+        )
     return 0
 
 
@@ -107,9 +169,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.print_help()
         return 2
     try:
-        return {"stats": _cmd_stats, "compact": _cmd_compact, "clean": _cmd_clean}[
-            args.command
-        ](args)
+        return {
+            "stats": _cmd_stats,
+            "compact": _cmd_compact,
+            "migrate": _cmd_migrate,
+            "clean": _cmd_clean,
+        }[args.command](args)
     except (StoreError, InvalidParameterError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -134,7 +134,7 @@ class _StoredOracleCore:
             first_idx = np.unique(codes_a[pending], return_index=True)[1]
             ask_local = pending[np.sort(first_idx)]
             fresh = ask_inner(active[ask_local])
-            self.store.add_votes(codes_a[ask_local].tolist(), fresh.tolist())
+            self.store.add_votes(codes_a[ask_local], fresh)
             canonical[ask_local] = fresh
             rest = pending[~np.isin(pending, ask_local)]
             if rest.size:

@@ -1,22 +1,27 @@
-"""The persistent crowd-answer warehouse: WAL + snapshot, votes, readout.
+"""The sharded crowd-answer warehouse: shard routing, read index, migration.
 
 :class:`AnswerStore` keeps, for every canonical query key (the int-code
 scheme of :mod:`repro.store.keys`), a multiset of noisy Yes/No answers — the
-*votes* — durably on disk.  Two files live under the store directory:
+*votes* — durably on disk in **format v2** (:mod:`repro.store.format`):
 
-* ``wal.jsonl`` — an append-only JSON-lines write-ahead log.  The first line
-  is a header recording the format version and the pinned record count;
-  every following line is one vote ``[seq, code, answer]`` with a strictly
-  increasing sequence number.  Appends are flushed per batch, so a crash
-  loses at most the unflushed tail; a truncated or corrupt trailing line is
-  skipped with a warning on load and the log is repaired in place
-  (everything after a torn write is suspect, so replay stops at the first
-  bad line and the torn tail is rewritten away before new appends land).
-* ``snapshot.json`` — a compacted view ``{code: [yes, no]}`` written
-  atomically (temp file + ``os.replace``, the same pattern as
-  :class:`repro.engine.cache.ResultCache`).  The snapshot records the
-  highest WAL sequence it folded in (``last_seq``), so replay after an
-  interrupted compaction never double-counts a vote.
+* ``manifest.json`` pins the format version, the shard count and the record
+  count the codes are computed against.  Its presence is what makes a
+  directory a v2 store; a directory holding the legacy flat ``wal.jsonl`` /
+  ``snapshot.json`` instead is a v1 store and is migrated in place the first
+  time it is opened (losslessly — every vote carries over).
+* ``shards/<id>/`` holds one :class:`~repro.store.shard.StoreShard` per
+  shard: an append-only WAL plus a compacted snapshot.  Keys route to shards
+  by ``code % n_shards``, and shards are fully independent — separate
+  files, separate advisory writer locks, separate group-commit clocks — so
+  several *processes* can write disjoint shards of one store concurrently.
+
+Reads are served from a warehouse-level in-memory index mapping every
+*resolved* code to its majority answer, maintained incrementally as votes
+arrive: a warm :meth:`lookup_batch` is one dict probe per key and never
+touches disk.  Appends are framed and written per shard in one ``write``
+call and made durable under a group-commit policy (K appends inside the
+commit window share one ``fsync``; see
+:class:`~repro.store.shard.GroupCommitPolicy`).
 
 Readout is *vote aggregation*, not plain memoisation: a key only serves an
 answer once it holds at least ``replication`` votes with a strict majority
@@ -25,15 +30,18 @@ answer once it holds at least ``replication`` votes with a strict majority
 cache; with ``replication=r > 1`` it re-asks each query until *r* votes
 accumulate and then answers by majority, so independent noisy answers
 *reduce* the effective error rate instead of merely being reused.
+
+The byte-level layout lives in ``docs/subsystems/store-format.md``; the
+operational guide (knobs, multi-writer contract, migration) in
+``docs/subsystems/store.md``.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import warnings
+import shutil
 from pathlib import Path
-from typing import Any, Dict, IO, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,14 +50,14 @@ try:  # POSIX advisory locking; absent on some platforms (best-effort guard).
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None
 
-from repro.exceptions import InvalidParameterError, StoreCorruptionError, StoreError
+from repro.exceptions import InvalidParameterError, StoreError
+from repro.store import format as fmt
+from repro.store.shard import GroupCommitPolicy, StoreShard
 
-#: Bump when the on-disk layout changes incompatibly.
-STORE_FORMAT_VERSION = 1
+#: Re-exported for callers that pinned the v1 name.
+STORE_FORMAT_VERSION = fmt.STORE_FORMAT_VERSION
 
-#: File names under the store directory.
-WAL_NAME = "wal.jsonl"
-SNAPSHOT_NAME = "snapshot.json"
+DEFAULT_N_SHARDS = fmt.DEFAULT_N_SHARDS
 
 
 def majority_readout(
@@ -71,30 +79,48 @@ def majority_readout(
 
 
 class AnswerStore:
-    """Durable, shared warehouse of noisy crowd answers keyed by query code.
+    """Durable, shared, sharded warehouse of noisy crowd answers.
 
     Parameters
     ----------
     directory:
-        Store directory (created on first write).  One directory is one
-        warehouse; concurrent *sessions* of one process share an instance,
-        successive runs share the directory.  Writing is single-writer at a
-        time: an advisory lock on the WAL turns a second concurrent writing
-        process into a :class:`~repro.exceptions.StoreError` instead of
-        silent vote loss (read-only use never locks).
+        Store directory.  One directory is one warehouse; concurrent
+        *sessions* of one process share an instance, successive runs share
+        the directory, and concurrent *processes* may write simultaneously
+        as long as they touch disjoint shards — each shard carries its own
+        advisory writer lock, and contention on one shard raises
+        :class:`~repro.exceptions.StoreError` instead of losing votes.
+        Opening creates the directory and its ``manifest.json`` if absent
+        (create the store *before* spawning concurrent writers, so they
+        agree on the shard count), and transparently migrates a legacy v1
+        store in place.
     replication:
         Votes required before a key serves answers (see
         :func:`majority_readout`).  ``1`` = pure dedup.
     confidence:
         Optional majority fraction a resolved key must reach, in ``[0, 1]``.
     compact_every:
-        Appended votes between automatic compactions; ``0`` disables
-        auto-compaction (explicit :meth:`compact` still works).
+        Appended votes per shard between automatic compactions of that
+        shard; ``0`` disables auto-compaction (explicit :meth:`compact`
+        still works).
     n_records:
         Record count the query codes are computed against.  Usually pinned
         lazily by the first :class:`~repro.store.oracle.StoredOracle` that
         attaches; a mismatch with the on-disk value raises
         :class:`~repro.exceptions.StoreError`.
+    n_shards:
+        Shard count for a store created (or migrated) by this open; an
+        existing v2 store's manifest wins, and passing a conflicting value
+        raises :class:`~repro.exceptions.StoreError`.  ``None`` defers to
+        the manifest or, for new stores, to :data:`DEFAULT_N_SHARDS`.
+    sync:
+        Durability policy: ``"group"`` (default — fsyncs batched inside
+        *group_commit_window*), ``"always"`` (fsync every append batch) or
+        ``"none"`` (leave durability to the OS page cache, the v1
+        behaviour).  See :class:`~repro.store.shard.GroupCommitPolicy`.
+    group_commit_window:
+        Group-commit window in seconds (only meaningful with
+        ``sync="group"``).
     """
 
     def __init__(
@@ -104,6 +130,9 @@ class AnswerStore:
         confidence: float = 0.0,
         compact_every: int = 100_000,
         n_records: Optional[int] = None,
+        n_shards: Optional[int] = None,
+        sync: str = "group",
+        group_commit_window: float = 0.005,
     ):
         if replication < 1:
             raise InvalidParameterError(
@@ -117,39 +146,147 @@ class AnswerStore:
             raise InvalidParameterError(
                 f"compact_every must be non-negative, got {compact_every}"
             )
+        if n_shards is not None and n_shards < 1:
+            raise InvalidParameterError(
+                f"n_shards must be at least 1, got {n_shards}"
+            )
+        try:
+            self.policy = GroupCommitPolicy(mode=sync, window=float(group_commit_window))
+        except ValueError as error:
+            raise InvalidParameterError(str(error)) from error
         self.directory = Path(directory)
         self.replication = int(replication)
         self.confidence = float(confidence)
         self.compact_every = int(compact_every)
         self.n_records: Optional[int] = int(n_records) if n_records is not None else None
-        #: code -> [yes_votes, no_votes]
-        self._votes: Dict[int, List[int]] = {}
-        self._seq = 0  # last sequence number written to (or loaded from) disk
-        self._appends_since_compact = 0
-        self._wal: Optional[IO[str]] = None
-        self._load()
+        self._requested_shards = int(n_shards) if n_shards is not None else None
+        self.n_shards = 0  # set by _open
+        self._shards: List[StoreShard] = []
+        #: The read index: every *resolved* code -> its majority answer.
+        #: Warm lookups are one dict probe here; unresolved and unseen keys
+        #: are simply absent.
+        self._resolved: Dict[int, bool] = {}
+        self._n_votes = 0
+        self._manifest_written = False
+        self._open()
 
     # -- paths ----------------------------------------------------------------
 
     @property
-    def wal_path(self) -> Path:
-        """Path of the append-only write-ahead log."""
-        return self.directory / WAL_NAME
+    def manifest_path(self) -> Path:
+        """Path of the store manifest (presence of which marks a v2 store)."""
+        return fmt.manifest_path(self.directory)
 
-    @property
-    def snapshot_path(self) -> Path:
-        """Path of the compacted snapshot."""
-        return self.directory / SNAPSHOT_NAME
+    def shard_of(self, code: int) -> int:
+        """Shard id owning *code* under this store's shard count."""
+        return fmt.shard_of(int(code), self.n_shards)
 
-    # -- loading --------------------------------------------------------------
+    # -- opening / migration ---------------------------------------------------
 
-    def _check_format(self, version: Any, source: Path) -> None:
-        if version != STORE_FORMAT_VERSION:
-            raise StoreError(
-                f"{source} has format version {version!r}; this code reads "
-                f"version {STORE_FORMAT_VERSION} (run a matching release, or "
-                f"`python -m repro.store clean --dir {self.directory}`)"
+    def _open(self) -> None:
+        manifest = self.manifest_path
+        if not manifest.exists() and fmt.is_v1_layout(self.directory):
+            self._migrate_v1()
+        if manifest.exists():
+            disk_shards, disk_records = fmt.decode_manifest(
+                manifest.read_text(encoding="utf-8"), manifest
             )
+            if self._requested_shards is not None and self._requested_shards != disk_shards:
+                raise StoreError(
+                    f"store at {self.directory} has {disk_shards} shard(s) but "
+                    f"n_shards={self._requested_shards} was requested; the "
+                    "shard count is fixed at creation (keys route by "
+                    "code % n_shards, so resharding requires a new store)"
+                )
+            self.n_shards = disk_shards
+            self._bind_n_records_value(disk_records, "the manifest")
+            self._remove_v1_leftovers()
+        else:
+            self.n_shards = self._requested_shards or fmt.DEFAULT_N_SHARDS
+            self._write_manifest()
+        self._manifest_written = True
+        self._shards = [
+            StoreShard(self.directory, shard, self.n_shards, self.policy)
+            for shard in range(self.n_shards)
+        ]
+        for shard in self._shards:
+            shard.load()
+        self._rebuild_index()
+
+    def _migrate_v1(self) -> None:
+        """Rewrite a legacy v1 store as format v2, in place, losslessly.
+
+        Guarded by a blocking ``flock`` on ``.migrate.lock`` so concurrent
+        openers serialise: the winner migrates, the others wait, re-check the
+        manifest and find the work done.  The manifest write is the commit
+        point — every shard snapshot is fully on disk (and fsynced) before
+        it lands, and the v1 files are deleted only after.  A crash *before*
+        the manifest leaves the v1 files authoritative (the partial
+        ``shards/`` tree is wiped and rebuilt on the next open); a crash
+        *after* leaves v1 leftovers that :meth:`_remove_v1_leftovers` clears.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        lock_path = self.directory / fmt.MIGRATE_LOCK_NAME
+        handle = lock_path.open("w")
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            if self.manifest_path.exists():
+                return  # another process migrated while we waited on the lock
+            votes, n_records, _ = fmt.read_v1_store(self.directory)
+            n_shards = self._requested_shards or fmt.DEFAULT_N_SHARDS
+            shards_dir = self.directory / fmt.SHARDS_DIR_NAME
+            if shards_dir.exists():
+                shutil.rmtree(shards_dir)  # partial earlier attempt: rebuild
+            per_shard: List[Dict[int, List[int]]] = [{} for _ in range(n_shards)]
+            for code, pair in votes.items():
+                per_shard[fmt.shard_of(code, n_shards)][code] = pair
+            for shard, shard_votes in enumerate(per_shard):
+                fmt.shard_dir(self.directory, shard).mkdir(parents=True, exist_ok=True)
+                self._write_file_fsync(
+                    fmt.shard_snapshot_path(self.directory, shard),
+                    fmt.encode_shard_snapshot(shard, n_shards, 0, shard_votes),
+                )
+                self._write_file_fsync(
+                    fmt.shard_wal_path(self.directory, shard),
+                    fmt.encode_shard_header(shard, n_shards),
+                )
+            if n_records is not None:
+                self._bind_n_records_value(n_records, "the migrated v1 store")
+            self.n_shards = n_shards
+            self._write_manifest()  # commit point: the store is now v2
+            self._remove_v1_leftovers()
+        finally:
+            handle.close()
+        try:
+            lock_path.unlink()
+        except FileNotFoundError:
+            pass
+
+    @staticmethod
+    def _write_file_fsync(path: Path, payload: str) -> None:
+        with path.open("w", encoding="utf-8") as out:
+            out.write(payload)
+            out.flush()
+            os.fsync(out.fileno())
+
+    def _remove_v1_leftovers(self) -> None:
+        # A manifest only ever lands after the shards are complete, so v1
+        # files found next to one are leftovers of a crash between the
+        # migration commit and the v1 cleanup — never authoritative.
+        for path in (fmt.v1_wal_path(self.directory), fmt.v1_snapshot_path(self.directory)):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def _write_manifest(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = self.manifest_path.with_name(f".{fmt.MANIFEST_NAME}.tmp.{os.getpid()}")
+        self._write_file_fsync(tmp, fmt.encode_manifest(self.n_shards, self.n_records) + "\n")
+        os.replace(tmp, self.manifest_path)
+
+    # -- record-count binding -------------------------------------------------
 
     def _bind_n_records_value(self, n: Any, source: str) -> None:
         if n is None:
@@ -164,257 +301,247 @@ class AnswerStore:
                 "query codes would collide across record counts"
             )
 
-    def _load_snapshot(self) -> None:
-        try:
-            raw = self.snapshot_path.read_text(encoding="utf-8")
-        except FileNotFoundError:
-            return
-        try:
-            payload = json.loads(raw)
-            if not isinstance(payload, dict):
-                raise ValueError("snapshot is not an object")
-        except (json.JSONDecodeError, ValueError) as error:
-            raise StoreCorruptionError(
-                f"snapshot {self.snapshot_path} is unreadable: {error}"
-            ) from error
-        # Version first: a future format's restructured payload must report
-        # as a version mismatch (actionable), not as corruption (alarming).
-        self._check_format(payload.get("format"), self.snapshot_path)
-        try:
-            votes = {
-                int(code): [int(yes), int(no)]
-                for code, (yes, no) in payload["votes"].items()
-            }
-        except (KeyError, TypeError, ValueError) as error:
-            raise StoreCorruptionError(
-                f"snapshot {self.snapshot_path} is unreadable: {error}"
-            ) from error
-        self._bind_n_records_value(payload.get("n_records"), "the snapshot")
-        self._votes = votes
-        self._seq = int(payload.get("last_seq", 0))
-
-    def _load_wal(self) -> None:
-        try:
-            lines = self.wal_path.read_text(encoding="utf-8").splitlines()
-        except FileNotFoundError:
-            return
-        if not lines:
-            return
-        try:
-            header = json.loads(lines[0])
-            if not isinstance(header, dict):
-                raise ValueError("WAL header is not an object")
-        except (json.JSONDecodeError, ValueError) as error:
-            raise StoreCorruptionError(
-                f"WAL {self.wal_path} has an unreadable header: {error}"
-            ) from error
-        self._check_format(header.get("format"), self.wal_path)
-        self._bind_n_records_value(header.get("n_records"), "the WAL header")
-        snapshot_seq = self._seq
-        for lineno, line in enumerate(lines[1:], start=2):
-            try:
-                seq, code, answer = json.loads(line)
-                seq, code, answer = int(seq), int(code), bool(answer)
-            except (json.JSONDecodeError, TypeError, ValueError):
-                # A torn append (crash mid-write) leaves a truncated or
-                # garbled tail; everything at and after the first bad line
-                # is suspect, so replay stops here.  Losing the unflushed
-                # tail of a crashed run is the documented WAL guarantee.
-                dropped = len(lines) - lineno + 1
-                warnings.warn(
-                    f"answer store WAL {self.wal_path}: corrupt entry at line "
-                    f"{lineno}; dropping {dropped} trailing line(s) "
-                    "(torn write from an interrupted run)",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                # Rewrite the log without the torn tail before any append can
-                # land after it — otherwise votes flushed by *this* run would
-                # sit behind the bad line and be dropped by the next load.
-                self._rewrite_wal(lines[: lineno - 1])
-                break
-            self._seq = max(self._seq, seq)
-            if seq <= snapshot_seq:
-                continue  # already folded into the snapshot by a compaction
-            self._tally(code, answer)
-
-    def _rewrite_wal(self, lines: List[str]) -> None:
-        """Atomically replace the WAL with *lines* (used by torn-tail repair)."""
-        tmp = self.wal_path.with_name(f".{WAL_NAME}.tmp.{os.getpid()}")
-        tmp.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
-        os.replace(tmp, self.wal_path)
-
-    def _load(self) -> None:
-        self._load_snapshot()
-        self._load_wal()
-
-    def _tally(self, code: int, answer: bool) -> None:
-        pair = self._votes.get(code)
-        if pair is None:
-            self._votes[code] = [int(answer), int(not answer)]
-        else:
-            pair[0 if answer else 1] += 1
-
-    # -- record-count binding -------------------------------------------------
-
     def bind_n_records(self, n: int) -> None:
         """Pin the record count the stored codes are computed against.
 
         Called by every attaching :class:`~repro.store.oracle.StoredOracle`;
-        the first caller fixes the value (persisted with the next write), and
+        the first caller fixes the value (persisted to the manifest), and
         later callers with a different *n* are rejected — their codes would
         silently collide with the stored ones.
         """
+        before = self.n_records
         self._bind_n_records_value(int(n), "this oracle")
+        if self.n_records != before:
+            self._write_manifest()
+
+    # -- read index ------------------------------------------------------------
+
+    def _rebuild_index(self) -> None:
+        self._resolved = {}
+        self._n_votes = sum(self._index_shard(shard) for shard in self._shards)
+        self._attach_read_index()
+
+    def _attach_read_index(self) -> None:
+        """Hand shards the resolved dict when readout is pure dedup.
+
+        With ``replication=1`` and no confidence threshold, a shard can fold
+        each appended vote into the read index in the same pass as the tally
+        (see :attr:`StoreShard.read_index`).  Must be re-run whenever
+        ``self._resolved`` is *reassigned* — the shards hold a reference.
+        """
+        pure_dedup = self.replication <= 1 and self.confidence <= 0.0
+        index = self._resolved if pure_dedup else None
+        for shard in self._shards:
+            shard.read_index = index
+
+    def _index_shard(self, shard: StoreShard) -> int:
+        """Fold one shard's tallies into the read index; returns its vote count."""
+        replication, confidence = self.replication, self.confidence
+        resolved = self._resolved
+        n_votes = 0
+        for code, (yes, no) in shard.votes.items():
+            n_votes += yes + no
+            answer = majority_readout(yes, no, replication, confidence)
+            if answer is not None:
+                resolved[code] = answer
+        return n_votes
+
+    def _resync_shard(self, shard: StoreShard) -> None:
+        """Rebuild the read index for one shard after a cross-process resync."""
+        sid, n_shards = shard.shard, self.n_shards
+        self._resolved = {
+            code: answer
+            for code, answer in self._resolved.items()
+            if code % n_shards != sid
+        }
+        self._index_shard(shard)
+        self._n_votes = sum(s.n_votes for s in self._shards)
+        self._attach_read_index()  # _resolved was reassigned above
+        shard.resynced = False
 
     # -- write path -----------------------------------------------------------
 
-    def _open_wal(self) -> IO[str]:
-        if self._wal is None:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            fresh = not self.wal_path.exists() or self.wal_path.stat().st_size == 0
-            handle = self.wal_path.open("a", encoding="utf-8")
-            # Advisory single-writer lock (held until close/compact): a
-            # second concurrent writer would append behind the first one's
-            # compaction `os.replace` and silently lose its votes, so turn
-            # that scenario into an immediate, explicit error instead.
-            # Readers never take the lock; sharing across *successive* runs
-            # is unaffected.
-            if fcntl is not None:
-                try:
-                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
-                except OSError:
-                    handle.close()
-                    raise StoreError(
-                        f"store at {self.directory} is being written by another "
-                        "process; one writer at a time (close it, or use a "
-                        "separate store directory)"
-                    ) from None
-            self._wal = handle
-            if fresh:
-                self._wal.write(self._header_line())
-                self._wal.flush()
-        return self._wal
-
-    def _header_line(self) -> str:
-        header = {"format": STORE_FORMAT_VERSION, "n_records": self.n_records}
-        return json.dumps(header) + "\n"
-
     def add_vote(self, code: int, answer: bool) -> None:
-        """Append one vote durably and fold it into the in-memory tally."""
+        """Append one vote durably and fold it into the read index."""
         self.add_votes([int(code)], [bool(answer)])
 
     def add_votes(self, codes: Iterable[int], answers: Iterable[bool]) -> None:
-        """Append a batch of votes: one WAL flush, one tally pass.
+        """Append a batch of votes: one WAL write per touched shard.
 
-        The WAL line for a vote is written *before* the in-memory tally is
-        updated, so a crash can lose votes but never invent them.
+        Votes route to shards by ``code % n_shards``; each shard's WAL lines
+        land in a single ``write`` call *before* the read index updates, so a
+        crash can lose votes but never invent them.  Durability follows the
+        store's group-commit policy.  The first append to a shard takes its
+        writer lock (held until :meth:`close`); if another process holds it,
+        :class:`~repro.exceptions.StoreError` is raised and shards earlier in
+        the batch keep what was already written.
         """
-        codes = [int(c) for c in codes]
-        answers = [bool(a) for a in answers]
-        if len(codes) != len(answers):
+        # Normalise through numpy once: the append path is hot, and
+        # ``tolist()`` turns a whole array into plain Python ints/bools in C
+        # (keeping numpy scalar types out of the tallies and the WAL) where
+        # a per-element ``int()`` loop would dominate the batch.
+        codes_arr = np.asarray(codes, dtype=np.int64).reshape(-1)
+        answers_arr = np.asarray(answers, dtype=bool).reshape(-1)
+        if len(codes_arr) != len(answers_arr):
             raise InvalidParameterError(
-                f"add_votes needs one answer per code, got {len(codes)} codes "
-                f"and {len(answers)} answers"
+                f"add_votes needs one answer per code, got {len(codes_arr)} "
+                f"codes and {len(answers_arr)} answers"
             )
-        if not codes:
+        if not len(codes_arr):
             return
-        wal = self._open_wal()
-        for code, answer in zip(codes, answers):
-            self._seq += 1
-            wal.write(json.dumps([self._seq, code, int(answer)]) + "\n")
-        wal.flush()
-        for code, answer in zip(codes, answers):
-            self._tally(code, answer)
-        self._appends_since_compact += len(codes)
-        if self.compact_every and self._appends_since_compact >= self.compact_every:
-            self.compact()
+        if not self._manifest_written:  # first write after clean()
+            self._write_manifest()
+            self._manifest_written = True
+        n_shards = self.n_shards
+        per_shard: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        if n_shards == 1:
+            per_shard.append((0, codes_arr, answers_arr))
+        else:
+            # Vectorised partition: stable sort by shard id, then slice —
+            # no per-vote Python work (numpy ``%`` matches Python's sign
+            # convention, so negative codes route like ``shard_of``).
+            shard_ids = codes_arr % n_shards
+            order = np.argsort(shard_ids, kind="stable")
+            sorted_codes = codes_arr[order]
+            sorted_answers = answers_arr[order]
+            bounds = np.searchsorted(shard_ids[order], np.arange(n_shards + 1)).tolist()
+            for sid in range(n_shards):
+                start, end = bounds[sid], bounds[sid + 1]
+                if start < end:
+                    per_shard.append(
+                        (sid, sorted_codes[start:end], sorted_answers[start:end])
+                    )
+        replication, confidence = self.replication, self.confidence
+        for sid, shard_codes, shard_answers in per_shard:
+            shard = self._shards[sid]
+            shard.append(shard_codes, shard_answers)
+            if shard.resynced:
+                # Another (finished) writer moved this shard on disk; the
+                # shard reloaded itself — rebuild our view of it wholesale.
+                self._resync_shard(shard)
+            elif shard.read_index is not None:
+                # Pure dedup: the shard folded each vote into the read index
+                # inside its tally loop already (see StoreShard.read_index).
+                self._n_votes += len(shard_codes)
+            else:
+                self._n_votes += len(shard_codes)
+                shard_votes = shard.votes
+                resolved = self._resolved
+                for code in shard_codes.tolist():
+                    yes, no = shard_votes[code]
+                    answer = majority_readout(yes, no, replication, confidence)
+                    if answer is None:
+                        resolved.pop(code, None)
+                    else:
+                        resolved[code] = answer
+            if self.compact_every and shard.appends_since_compact >= self.compact_every:
+                shard.compact()
+
+    def flush(self) -> None:
+        """Force the group-commit fsync of any unsynced appends, per shard."""
+        for shard in self._shards:
+            shard.sync()
 
     # -- read path ------------------------------------------------------------
 
     def votes(self, code: int) -> Tuple[int, int]:
         """The ``(yes, no)`` vote counts of one key (``(0, 0)`` when unseen)."""
-        pair = self._votes.get(int(code))
+        code = int(code)
+        pair = self._shards[code % self.n_shards].votes.get(code)
         return (pair[0], pair[1]) if pair else (0, 0)
 
     def lookup(self, code: int) -> Optional[bool]:
         """Resolved canonical answer for *code*, or ``None`` when unresolved."""
-        pair = self._votes.get(int(code))
-        if pair is None:
-            return None
-        return majority_readout(pair[0], pair[1], self.replication, self.confidence)
+        return self._resolved.get(int(code))
 
     def lookup_batch(self, codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Vectorised :meth:`lookup`: ``(resolved_mask, answers)`` arrays.
 
-        ``answers`` is only meaningful where ``resolved_mask`` is true.
+        One read-index probe per key — never touches disk, never recomputes
+        a readout.  ``answers`` is only meaningful where ``resolved_mask``
+        is true.
         """
         m = len(codes)
-        resolved = np.zeros(m, dtype=bool)
+        index = self._resolved
+        code_list = codes.tolist()
+        # ``map`` keeps both probe loops at the C level: dict.__contains__
+        # returns cached bool singletons, so neither pass allocates per key.
+        hits = np.fromiter(map(index.__contains__, code_list), dtype=bool, count=m)
+        n_hits = int(hits.sum())
+        if n_hits == m:  # warm path: every key resolved
+            answers = np.fromiter(map(index.__getitem__, code_list), dtype=bool, count=m)
+            return hits, answers
         answers = np.zeros(m, dtype=bool)
-        votes = self._votes
-        replication, confidence = self.replication, self.confidence
-        for pos, code in enumerate(codes.tolist()):
-            pair = votes.get(code)
-            if pair is None:
-                continue
-            answer = majority_readout(pair[0], pair[1], replication, confidence)
-            if answer is not None:
-                resolved[pos] = True
-                answers[pos] = answer
-        return resolved, answers
+        if n_hits:
+            for pos in np.flatnonzero(hits).tolist():
+                answers[pos] = index[code_list[pos]]
+        return hits, answers
+
+    def codes(self) -> Iterator[int]:
+        """Iterate over every stored code (all shards)."""
+        for shard in self._shards:
+            yield from shard.votes
+
+    def iter_votes(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate ``(code, yes, no)`` over every stored key (all shards)."""
+        for shard in self._shards:
+            for code, (yes, no) in shard.votes.items():
+                yield code, yes, no
 
     # -- maintenance ----------------------------------------------------------
 
     def compact(self) -> Path:
-        """Fold the WAL into a fresh snapshot and truncate the log.
+        """Fold every shard's WAL into a fresh snapshot and truncate its log.
 
-        Crash-safe in both windows: the snapshot lands atomically and records
-        ``last_seq``, so if the process dies before the WAL is reset the next
-        load replays only the votes the snapshot has not already folded in.
+        Takes (and keeps) the writer lock of every shard, so it fails with
+        :class:`~repro.exceptions.StoreError` if another process is writing
+        any shard — quiesce writers before store-wide compaction.  Shards
+        auto-compact individually during writes when ``compact_every`` is
+        set.  Crash-safe per shard: the snapshot lands atomically and records
+        ``last_seq``, so an interrupted compaction replays idempotently.
         """
-        self.directory.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "format": STORE_FORMAT_VERSION,
-            "n_records": self.n_records,
-            "last_seq": self._seq,
-            "n_keys": len(self._votes),
-            "votes": {str(code): pair for code, pair in self._votes.items()},
-        }
-        tmp = self.snapshot_path.with_name(f".{SNAPSHOT_NAME}.tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload), encoding="utf-8")
-        os.replace(tmp, self.snapshot_path)
-        # Reset the WAL to a fresh header, atomically; sequence numbers keep
-        # increasing across the reset so snapshot/WAL replay stays idempotent.
-        if self._wal is not None:
-            self._wal.close()
-            self._wal = None
-        tmp_wal = self.wal_path.with_name(f".{WAL_NAME}.tmp.{os.getpid()}")
-        tmp_wal.write_text(self._header_line(), encoding="utf-8")
-        os.replace(tmp_wal, self.wal_path)
-        self._appends_since_compact = 0
-        return self.snapshot_path
+        for shard in self._shards:
+            shard.compact()
+        return self.directory
 
     def clean(self) -> int:
         """Delete the store's on-disk files; returns how many were removed."""
         self.close()
         removed = 0
-        for path in (self.wal_path, self.snapshot_path):
+        for path in (
+            fmt.v1_wal_path(self.directory),
+            fmt.v1_snapshot_path(self.directory),
+            self.manifest_path,
+            self.directory / fmt.MIGRATE_LOCK_NAME,
+        ):
             try:
                 path.unlink()
                 removed += 1
             except FileNotFoundError:
                 pass
-        self._votes = {}
-        self._seq = 0
-        self._appends_since_compact = 0
+        shards_dir = self.directory / fmt.SHARDS_DIR_NAME
+        if shards_dir.exists():
+            for _, _, files in os.walk(shards_dir):
+                removed += len(files)
+            shutil.rmtree(shards_dir)
+        self._shards = [
+            StoreShard(self.directory, shard, self.n_shards, self.policy)
+            for shard in range(self.n_shards)
+        ]
+        self._resolved = {}
+        self._n_votes = 0
+        self._attach_read_index()  # fresh shards, reassigned _resolved
+        self._manifest_written = False  # rewritten by the next add_votes
         return removed
 
     def close(self) -> None:
-        """Flush and close the WAL handle (the store can be reused after)."""
-        if self._wal is not None:
-            self._wal.close()
-            self._wal = None
+        """Sync and release every shard's WAL handle (and writer lock).
+
+        The store stays usable: the next append re-acquires the locks,
+        re-syncing against anything other processes wrote in between.
+        """
+        for shard in self._shards:
+            shard.close()
 
     def __enter__(self) -> "AnswerStore":
         return self
@@ -423,44 +550,38 @@ class AnswerStore:
         self.close()
 
     def __len__(self) -> int:
-        return len(self._votes)
+        return sum(shard.n_keys for shard in self._shards)
 
     # -- observability --------------------------------------------------------
 
     @property
     def n_votes(self) -> int:
-        """Total votes across all keys."""
-        return sum(pair[0] + pair[1] for pair in self._votes.values())
+        """Total votes across all keys (O(1): maintained incrementally)."""
+        return self._n_votes
 
     @property
     def n_resolved(self) -> int:
         """Keys currently able to serve an answer under the readout policy."""
-        return sum(
-            1
-            for pair in self._votes.values()
-            if majority_readout(pair[0], pair[1], self.replication, self.confidence)
-            is not None
-        )
+        return len(self._resolved)
 
     def stats(self) -> Dict[str, Any]:
         """Plain-dict store statistics (the ``python -m repro.store stats`` payload)."""
-
-        def _size(path: Path) -> int:
-            try:
-                return path.stat().st_size
-            except FileNotFoundError:
-                return 0
-
+        shard_rows = [shard.stats() for shard in self._shards]
         return {
             "directory": str(self.directory),
-            "format": STORE_FORMAT_VERSION,
+            "format": fmt.STORE_FORMAT_VERSION,
+            "n_shards": self.n_shards,
             "n_records": self.n_records,
             "replication": self.replication,
             "confidence": self.confidence,
-            "n_keys": len(self._votes),
+            "sync": self.policy.mode,
+            "group_commit_window": self.policy.window,
+            "n_keys": len(self),
             "n_votes": self.n_votes,
             "n_resolved": self.n_resolved,
-            "wal_bytes": _size(self.wal_path),
-            "snapshot_bytes": _size(self.snapshot_path),
-            "last_seq": self._seq,
+            "n_appends": sum(row["n_appends"] for row in shard_rows),
+            "n_fsyncs": sum(row["n_fsyncs"] for row in shard_rows),
+            "wal_bytes": sum(row["wal_bytes"] for row in shard_rows),
+            "snapshot_bytes": sum(row["snapshot_bytes"] for row in shard_rows),
+            "shards": shard_rows,
         }

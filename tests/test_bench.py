@@ -36,7 +36,7 @@ class TestPlanning:
             "pair_distances_batch",
         }
         assert set(bench_spec_names("service")) == {"service_throughput"}
-        assert set(bench_spec_names("store")) == {"store_dedup"}
+        assert set(bench_spec_names("store")) == {"store_dedup", "store_scale"}
 
     def test_service_quick_grid_keeps_the_16_session_point(self):
         cells = plan_cells("service", quick=True)
@@ -45,9 +45,21 @@ class TestPlanning:
     def test_store_quick_grid_keeps_at_least_4_sessions(self):
         # The acceptance point: cross-session hit rate is reported at >= 4
         # concurrent sessions, in both replication regimes.
-        cells = plan_cells("store", quick=True)
+        cells = [
+            c for c in plan_cells("store", quick=True) if c.algorithm == "store_dedup"
+        ]
         assert cells and all(c.params["sessions"] >= 4 for c in cells)
         assert {c.params["replication"] for c in cells} == {1, 3}
+
+    def test_store_scale_quick_grid_covers_both_sync_modes(self):
+        # The raw-throughput cells must exercise group commit *and* the
+        # always-fsync baseline, at a multi-shard layout.
+        cells = [
+            c for c in plan_cells("store", quick=True) if c.algorithm == "store_scale"
+        ]
+        assert cells and all(c.params["n_shards"] > 1 for c in cells)
+        windows = {c.params["group_commit_ms"] for c in cells}
+        assert 0.0 in windows and any(w > 0 for w in windows)
 
     def test_plan_is_deterministic(self):
         a = plan_cells("scaling", quick=True, n_seeds=2, base_seed=5)

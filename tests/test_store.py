@@ -1,17 +1,21 @@
 """Tests for the persistent crowd-answer warehouse (`repro.store`).
 
-Covers the on-disk format (WAL + snapshot, crash recovery, versioning),
-vote aggregation and readout, the warehouse-backed oracle wrappers (cold
-bit-identity with the direct path, warm-store query savings, replication),
-the maintenance CLI, and the shared-store integration with the crowd-oracle
-service.  Async service tests reuse the per-test ``asyncio.wait_for`` guard
-convention of ``tests/test_service.py``.
+Covers the sharded v2 on-disk format (manifest, per-shard WAL + snapshot,
+group commit, crash recovery, v1 migration, versioning), vote aggregation
+and readout, concurrent multi-process writers over disjoint shards, the
+warehouse-backed oracle wrappers (cold bit-identity with the direct path,
+warm-store query savings, replication), the maintenance CLI, and the
+shared-store integration with the crowd-oracle service.  Async service
+tests reuse the per-test ``asyncio.wait_for`` guard convention of
+``tests/test_service.py``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import multiprocessing
+import warnings
 
 import numpy as np
 import pytest
@@ -32,15 +36,21 @@ from repro.oracles.quadruplet import DistanceQuadrupletOracle
 from repro.service.core import CrowdOracleService, ServiceConfig
 from repro.service.load import run_comparison_load
 from repro.store import (
+    DEFAULT_N_SHARDS,
     AnswerStore,
     StoredComparisonOracle,
     StoredQuadrupletOracle,
     majority_readout,
+    shard_of,
 )
+from repro.store import format as fmt
 from repro.store.__main__ import main as store_main
 
 #: Per-test asyncio timeout guard, seconds.
 GUARD = 20.0
+
+#: Deadline for multi-process coordination, seconds.
+MP_GUARD = 30.0
 
 
 def run_async(coro):
@@ -110,6 +120,27 @@ class TestAnswerStore:
             scalar = store.lookup(int(code))
             assert (scalar is not None) == resolved[pos]
 
+    def test_batch_mixing_new_and_seen_codes_keeps_tallies_and_readout(self, tmp_path):
+        # First batch: all-new distinct codes (the bulk insert path).
+        # Second batch: same codes again plus new ones (the per-vote path),
+        # creating a tie that must *un*-resolve the key in the read index.
+        store = AnswerStore(tmp_path / "s")
+        store.add_votes([10, 11, 12], [True, True, False])
+        assert store.lookup(10) is True and store.lookup(12) is False
+        store.add_votes([10, 13, 11], [False, True, True])
+        assert store.votes(10) == (1, 1)
+        assert store.lookup(10) is None  # tied — resolution withdrawn
+        assert store.votes(11) == (2, 0)
+        assert store.lookup(11) is True
+        assert store.lookup(13) is True  # new code in the mixed batch
+        # Reopen: WAL replay must reproduce the same tallies.
+        store.close()
+        reopened = AnswerStore(tmp_path / "s")
+        assert reopened.votes(10) == (1, 1)
+        assert reopened.lookup(10) is None
+        assert reopened.votes(11) == (2, 0)
+        reopened.close()
+
     def test_replication_gates_readout(self, tmp_path):
         store = AnswerStore(tmp_path / "s", replication=3)
         store.add_vote(5, True)
@@ -142,14 +173,15 @@ class TestAnswerStore:
 
     def test_compact_folds_wal_into_snapshot(self, tmp_path):
         directory = tmp_path / "s"
-        store = AnswerStore(directory, n_records=20)
+        store = AnswerStore(directory, n_records=20, n_shards=2)
         store.add_votes(list(range(50)), [True] * 50)
-        assert not store.snapshot_path.exists()
+        assert not fmt.shard_snapshot_path(directory, 0).exists()
         store.compact()
-        assert store.snapshot_path.exists()
-        # WAL is reset to header-only; a reload sees the same state.
-        wal_lines = store.wal_path.read_text().splitlines()
-        assert len(wal_lines) == 1
+        for shard in range(2):
+            assert fmt.shard_snapshot_path(directory, shard).exists()
+            # Each WAL is reset to header-only; a reload sees the same state.
+            wal_bytes = fmt.shard_wal_path(directory, shard).read_bytes()
+            assert wal_bytes == fmt.encode_shard_header(shard, 2).encode("utf-8")
         store.close()
         reopened = AnswerStore(directory)
         assert len(reopened) == 50
@@ -161,22 +193,35 @@ class TestAnswerStore:
         # Crash window: snapshot written but the WAL not yet truncated.  The
         # sequence numbers in the snapshot make WAL replay idempotent.
         directory = tmp_path / "s"
-        store = AnswerStore(directory)
+        store = AnswerStore(directory, n_shards=1)
         store.add_votes([1, 1, 2], [True, True, False])
-        stale_wal = store.wal_path.read_text()
+        wal_path = fmt.shard_wal_path(directory, 0)
+        stale_wal = wal_path.read_bytes()
         store.compact()
         store.close()
-        store.wal_path.write_text(stale_wal)  # simulate the un-truncated WAL
+        wal_path.write_bytes(stale_wal)  # simulate the un-truncated WAL
         reopened = AnswerStore(directory)
         assert reopened.votes(1) == (2, 0)  # not (4, 0)
         assert reopened.n_votes == 3
         reopened.close()
 
     def test_auto_compaction_threshold(self, tmp_path):
-        store = AnswerStore(tmp_path / "s", compact_every=10)
+        directory = tmp_path / "s"
+        store = AnswerStore(directory, compact_every=10, n_shards=1)
         store.add_votes(list(range(10)), [True] * 10)
-        assert store.snapshot_path.exists()
-        assert len(store.wal_path.read_text().splitlines()) == 1
+        assert fmt.shard_snapshot_path(directory, 0).exists()
+        wal_bytes = fmt.shard_wal_path(directory, 0).read_bytes()
+        assert wal_bytes == fmt.encode_shard_header(0, 1).encode("utf-8")
+        store.close()
+
+    def test_auto_compaction_is_per_shard(self, tmp_path):
+        # Only the shard that crossed the threshold compacts; its siblings'
+        # WALs keep their records.
+        directory = tmp_path / "s"
+        store = AnswerStore(directory, compact_every=10, n_shards=2)
+        store.add_votes([0] * 10 + [1], [True] * 11)  # shard 0 hot, shard 1 cold
+        assert fmt.shard_snapshot_path(directory, 0).exists()
+        assert not fmt.shard_snapshot_path(directory, 1).exists()
         store.close()
 
     def test_clean_removes_files(self, tmp_path):
@@ -184,23 +229,32 @@ class TestAnswerStore:
         store = AnswerStore(directory)
         store.add_vote(1, True)
         store.compact()
-        assert store.clean() == 2
-        assert not store.wal_path.exists()
-        assert not store.snapshot_path.exists()
+        removed = store.clean()
+        assert removed >= 2  # manifest + at least the written shard's files
+        assert not fmt.manifest_path(directory).exists()
+        assert not (directory / fmt.SHARDS_DIR_NAME).exists()
         assert len(store) == 0
+        # The store stays usable: the next write recreates the layout.
+        store.add_vote(1, True)
+        assert fmt.manifest_path(directory).exists()
+        store.close()
 
-    def test_second_concurrent_writer_rejected(self, tmp_path):
+    def test_second_concurrent_writer_rejected_per_shard(self, tmp_path):
         fcntl = pytest.importorskip("fcntl")  # advisory lock is POSIX-only
         assert fcntl
         directory = tmp_path / "s"
-        writer = AnswerStore(directory)
-        writer.add_vote(1, True)  # holds the WAL write lock
+        writer = AnswerStore(directory, n_shards=2)
+        writer.add_vote(2, True)  # holds shard 0's writer lock (2 % 2 == 0)
         rival = AnswerStore(directory)  # reading (loading) is always fine
-        with pytest.raises(StoreError, match="another\\s+process"):
-            rival.add_vote(2, False)
-        writer.close()  # lock released: the rival can write now
-        rival.add_vote(2, False)
+        with pytest.raises(StoreError, match=r"shard 0 .* another\s+process"):
+            rival.add_vote(4, False)  # same shard: rejected
+        rival.add_vote(3, False)  # disjoint shard (3 % 2 == 1): fine
+        writer.close()  # shard 0 lock released: the rival can write it now
+        rival.add_vote(4, False)
         rival.close()
+        reopened = AnswerStore(directory)
+        assert reopened.n_votes == 3  # nothing lost to the contention
+        reopened.close()
 
     def test_stats_payload(self, tmp_path):
         store = AnswerStore(tmp_path / "s", replication=2, n_records=8)
@@ -215,60 +269,92 @@ class TestAnswerStore:
 
 
 class TestWalRecovery:
+    """Per-shard crash recovery (all on a 1-shard store: one WAL to damage)."""
+
     def _store_with_votes(self, directory):
-        store = AnswerStore(directory)
-        store.add_votes([10, 20, 30], [True, False, True])
+        # Three separate add_votes calls -> three WAL records on the shard,
+        # so tests can damage one record without touching its neighbours.
+        store = AnswerStore(directory, n_shards=1)
+        for code, answer in ((10, True), (20, False), (30, True)):
+            store.add_vote(code, answer)
         store.close()
         return store
 
-    def test_truncated_trailing_line_skipped_with_warning(self, tmp_path):
+    @staticmethod
+    def _record_offsets(wal):
+        """Byte offsets of each WAL record (and the final end offset)."""
+        data = wal.read_bytes()
+        offsets = [data.index(b"\n") + 1]
+        while offsets[-1] < len(data):
+            _, _, _, end = fmt.decode_votes_at(data, offsets[-1])
+            offsets.append(end)
+        return data, offsets
+
+    def test_truncated_trailing_record_skipped_with_warning(self, tmp_path):
         directory = tmp_path / "s"
         self._store_with_votes(directory)
-        wal = directory / "wal.jsonl"
-        with wal.open("a", encoding="utf-8") as handle:
-            handle.write("[4, 40")  # torn append: no closing bracket, no newline
-        with pytest.warns(RuntimeWarning, match="corrupt entry"):
+        wal = fmt.shard_wal_path(directory, 0)
+        torn = fmt.encode_votes(4, [40], [True])[:-3]  # record missing its tail
+        with wal.open("ab") as handle:
+            handle.write(torn)
+        with pytest.warns(RuntimeWarning, match="truncated final record"):
             reopened = AnswerStore(directory)
         assert reopened.n_votes == 3
         assert reopened.lookup(10) is True
         reopened.close()
 
-    def test_garbage_trailing_line_skipped_with_warning(self, tmp_path):
+    def test_garbage_trailing_bytes_skipped_with_warning(self, tmp_path):
         directory = tmp_path / "s"
         self._store_with_votes(directory)
-        wal = directory / "wal.jsonl"
-        with wal.open("a", encoding="utf-8") as handle:
-            handle.write("not json at all\n")
+        wal = fmt.shard_wal_path(directory, 0)
+        with wal.open("ab") as handle:
+            handle.write(b"not a wal record at all")
         with pytest.warns(RuntimeWarning):
             reopened = AnswerStore(directory)
         assert reopened.n_votes == 3
         reopened.close()
 
-    def test_replay_stops_at_first_corrupt_line(self, tmp_path):
-        # Everything after a torn write is suspect: the valid-looking line
+    def test_replay_stops_at_first_corrupt_record(self, tmp_path):
+        # Everything after a torn write is suspect: the valid-looking record
         # after the corrupt one is dropped too, and the warning says so.
         directory = tmp_path / "s"
         self._store_with_votes(directory)
-        wal = directory / "wal.jsonl"
-        lines = wal.read_text().splitlines()
-        lines.insert(3, '{"seq": oops')
-        wal.write_text("\n".join(lines) + "\n")
-        with pytest.warns(RuntimeWarning, match=r"dropping 2 trailing line\(s\)"):
+        wal = fmt.shard_wal_path(directory, 0)
+        data, offsets = self._record_offsets(wal)
+        damaged = bytearray(data)
+        damaged[offsets[1] + 8] ^= 0xFF  # flip a payload byte: checksum fails
+        wal.write_bytes(bytes(damaged))
+        with pytest.warns(RuntimeWarning, match=r"corrupt entry at byte"):
             reopened = AnswerStore(directory)
-        assert reopened.n_votes == 2  # votes for 10 and 20 survive, 30 dropped
+        assert reopened.n_votes == 1  # the vote for 10 survives, 20/30 dropped
         assert reopened.lookup(30) is None
         reopened.close()
 
-    def test_recovery_repairs_the_log_so_new_votes_survive(self, tmp_path):
-        # The torn tail is rewritten away during recovery, so votes flushed
-        # *after* a recovery are not stranded behind the bad line: the next
-        # load replays them (no warning, no data loss).
+    def test_load_never_rewrites_a_torn_wal(self, tmp_path):
+        # A read-only open must not mutate the file: another process may
+        # hold the shard's writer lock and be mid-append.  Repair happens
+        # only when *this* instance takes the lock to write.
         directory = tmp_path / "s"
         self._store_with_votes(directory)
-        (directory / "wal.jsonl").open("a").write("[9")
+        wal = fmt.shard_wal_path(directory, 0)
+        with wal.open("ab") as handle:
+            handle.write(b"\x09")  # torn append: not even a whole length field
+        damaged = wal.read_bytes()
+        with pytest.warns(RuntimeWarning):
+            reader = AnswerStore(directory)
+        assert wal.read_bytes() == damaged  # untouched by the load
+        reader.close()
+
+    def test_recovery_repairs_the_log_so_new_votes_survive(self, tmp_path):
+        # The torn tail is truncated away under the writer lock before any
+        # append lands, so votes flushed *after* a recovery are not stranded
+        # behind the bad bytes: the next load replays them (no warning).
+        directory = tmp_path / "s"
+        self._store_with_votes(directory)
+        fmt.shard_wal_path(directory, 0).open("ab").write(b"\x09")
         with pytest.warns(RuntimeWarning):
             store = AnswerStore(directory)
-        store.add_vote(40, True)
+        store.add_vote(40, True)  # takes the lock: torn tail truncated first
         store.close()
         again = AnswerStore(directory)  # clean load: tail was repaired
         assert again.n_votes == 4
@@ -317,6 +403,317 @@ class TestWalRecovery:
         store = AnswerStore(directory)
         assert len(store) == 0
         store.close()
+
+
+class TestShardedLayout:
+    def test_v2_layout_on_disk(self, tmp_path):
+        directory = tmp_path / "s"
+        store = AnswerStore(directory, n_shards=4, n_records=6)
+        store.add_votes([-3, -2, 5, 6], [True, True, False, True])
+        store.close()
+        manifest = json.loads(fmt.manifest_path(directory).read_text())
+        assert manifest == {"format": 2, "n_shards": 4, "n_records": 6}
+        for code in (-3, -2, 5, 6):
+            wal = fmt.shard_wal_path(directory, shard_of(code, 4))
+            assert wal.exists()
+            header = json.loads(wal.read_bytes().split(b"\n", 1)[0].decode("utf-8"))
+            assert header["format"] == 2
+            assert header["n_shards"] == 4
+
+    def test_codes_route_by_modulo(self, tmp_path):
+        directory = tmp_path / "s"
+        store = AnswerStore(directory, n_shards=3)
+        codes = [-7, -1, 0, 4, 11]
+        store.add_votes(codes, [True] * len(codes))
+        store.close()
+        for code in codes:
+            shard = shard_of(code, 3)
+            assert 0 <= shard < 3  # negative codes route to a real shard too
+            data = fmt.shard_wal_path(directory, shard).read_bytes()
+            _, wal_codes, _, _ = fmt.decode_votes_at(data, data.index(b"\n") + 1)
+            assert code in wal_codes
+
+    def test_default_shard_count(self, tmp_path):
+        store = AnswerStore(tmp_path / "s")
+        assert store.n_shards == DEFAULT_N_SHARDS
+        store.close()
+
+    def test_manifest_pins_shard_count(self, tmp_path):
+        directory = tmp_path / "s"
+        AnswerStore(directory, n_shards=4).close()
+        reopened = AnswerStore(directory)  # no explicit count: manifest wins
+        assert reopened.n_shards == 4
+        reopened.close()
+        with pytest.raises(StoreError, match="shard"):
+            AnswerStore(directory, n_shards=8)  # conflicting count: rejected
+
+    def test_shard_header_identity_checked(self, tmp_path):
+        # A shard WAL moved to another shard directory must be detected, not
+        # silently replayed under the wrong keys.
+        directory = tmp_path / "s"
+        store = AnswerStore(directory, n_shards=2)
+        store.add_votes([0, 1], [True, True])
+        store.close()
+        wal0 = fmt.shard_wal_path(directory, 0)
+        wal1 = fmt.shard_wal_path(directory, 1)
+        wal1.write_bytes(wal0.read_bytes())
+        with pytest.raises(StoreCorruptionError, match="shard"):
+            AnswerStore(directory)
+
+    def test_invalid_shard_and_sync_parameters(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            AnswerStore(tmp_path / "a", n_shards=0)
+        with pytest.raises(InvalidParameterError):
+            AnswerStore(tmp_path / "b", sync="sometimes")
+        with pytest.raises(InvalidParameterError):
+            AnswerStore(tmp_path / "c", group_commit_window=-1.0)
+
+
+class TestGroupCommit:
+    def test_always_mode_fsyncs_every_append(self, tmp_path):
+        store = AnswerStore(tmp_path / "s", n_shards=1, sync="always")
+        for k in range(5):
+            store.add_vote(k, True)
+        assert store.stats()["n_fsyncs"] == 5
+        store.close()
+
+    def test_none_mode_never_fsyncs(self, tmp_path):
+        store = AnswerStore(tmp_path / "s", n_shards=1, sync="none")
+        for k in range(5):
+            store.add_vote(k, True)
+        store.close()
+        assert store.stats()["n_fsyncs"] == 0
+
+    def test_group_mode_amortises_fsyncs(self, tmp_path):
+        # A wide window: no append ever pays the fsync (each marks the shard
+        # dirty); only close() settles the debt — one fsync for 50 appends.
+        store = AnswerStore(
+            tmp_path / "s", n_shards=1, sync="group", group_commit_window=60.0
+        )
+        for k in range(50):
+            store.add_vote(k, True)
+        assert store.stats()["n_fsyncs"] == 0
+        store.flush()
+        assert store.stats()["n_fsyncs"] == 1
+        store.close()
+        reopened = AnswerStore(tmp_path / "s")
+        assert reopened.n_votes == 50  # nothing lost to the deferral
+        reopened.close()
+
+    def test_close_settles_group_commit_debt(self, tmp_path):
+        store = AnswerStore(
+            tmp_path / "s", n_shards=1, sync="group", group_commit_window=60.0
+        )
+        store.add_vote(1, True)
+        store.close()
+        assert store.stats()["n_fsyncs"] == 1
+
+
+class TestMigration:
+    def _write_v1(self, directory, with_snapshot=True):
+        """Hand-craft a legacy v1 store: 3 keys, 6 votes, n_records=50."""
+        directory.mkdir(parents=True, exist_ok=True)
+        if with_snapshot:
+            (directory / "snapshot.json").write_text(
+                json.dumps(
+                    {
+                        "format": 1,
+                        "n_records": 50,
+                        "last_seq": 3,
+                        "n_keys": 2,
+                        "votes": {"-5": [2, 1], "12": [0, 1]},
+                    }
+                )
+            )
+            header = {"format": 1, "n_records": 50}
+            # Seqs 1-3 are folded into the snapshot; 4-6 are fresh.
+            records = [(3, 12, 0), (4, -5, 0), (5, -9, 1), (6, 12, 1)]
+        else:
+            header = {"format": 1, "n_records": 50}
+            records = [(1, -5, 1), (2, -5, 1), (3, 12, 0), (4, -5, 0), (5, -9, 1), (6, 12, 1)]
+        lines = [json.dumps(header)] + [json.dumps(list(r)) for r in records]
+        (directory / "wal.jsonl").write_text("".join(l + "\n" for l in lines))
+        return {-5: (2, 2), 12: (1, 1), -9: (1, 0)} if with_snapshot else {
+            -5: (2, 1),
+            12: (1, 1),
+            -9: (1, 0),
+        }
+
+    def test_v1_store_migrates_losslessly_on_open(self, tmp_path):
+        directory = tmp_path / "s"
+        expected = self._write_v1(directory)
+        store = AnswerStore(directory, n_shards=3)
+        # Equivalence on every vote, not just resolved answers.
+        assert {code: tuple(votes) for code, votes, in
+                ((c, store.votes(c)) for c in expected)} == expected
+        assert dict((c, (y, n)) for c, y, n in store.iter_votes()) == {
+            c: v for c, v in expected.items()
+        }
+        assert store.n_records == 50
+        assert not (directory / "wal.jsonl").exists()
+        assert not (directory / "snapshot.json").exists()
+        assert fmt.manifest_path(directory).exists()
+        store.close()
+
+    def test_v1_wal_only_store_migrates(self, tmp_path):
+        directory = tmp_path / "s"
+        expected = self._write_v1(directory, with_snapshot=False)
+        store = AnswerStore(directory)
+        for code, votes in expected.items():
+            assert store.votes(code) == votes
+        store.close()
+
+    def test_migration_survives_kill_before_commit(self, tmp_path):
+        # Window A: shards partially written, no manifest yet.  The v1 files
+        # are still authoritative; reopening wipes the partial tree and
+        # migrates again.
+        directory = tmp_path / "s"
+        expected = self._write_v1(directory)
+        poison = fmt.shard_dir(directory, 0)
+        poison.mkdir(parents=True)
+        (poison / fmt.WAL_NAME).write_text("partial garbage from a dead migration\n")
+        store = AnswerStore(directory, n_shards=2)
+        for code, votes in expected.items():
+            assert store.votes(code) == votes
+        store.close()
+
+    def test_migration_survives_kill_after_commit(self, tmp_path):
+        # Window B: manifest committed but v1 files not yet deleted.  The
+        # manifest wins; the v1 leftovers are cleared, no vote is read twice.
+        directory = tmp_path / "s"
+        expected = self._write_v1(directory)
+        store = AnswerStore(directory, n_shards=2)
+        store.close()
+        self._write_v1(directory)  # resurrect the v1 files next to the manifest
+        reopened = AnswerStore(directory)
+        for code, votes in expected.items():
+            assert reopened.votes(code) == votes  # not doubled
+        assert not (directory / "wal.jsonl").exists()
+        reopened.close()
+
+    def test_migrated_store_serves_and_extends(self, tmp_path):
+        directory = tmp_path / "s"
+        self._write_v1(directory)
+        store = AnswerStore(directory)
+        assert store.lookup(-9) is True
+        store.add_vote(-5, True)  # -5 was tied 2-2; this resolves it
+        assert store.lookup(-5) is True
+        store.close()
+        reopened = AnswerStore(directory)
+        assert reopened.votes(-5) == (3, 2)
+        reopened.close()
+
+    def test_v1_torn_tail_tolerated_during_migration(self, tmp_path):
+        directory = tmp_path / "s"
+        self._write_v1(directory)
+        with (directory / "wal.jsonl").open("a") as handle:
+            handle.write("[7, -9")
+        with pytest.warns(RuntimeWarning, match="corrupt entry"):
+            store = AnswerStore(directory)
+        assert store.votes(-9) == (1, 0)
+        store.close()
+
+
+def _disjoint_writer(directory, parity, n_votes, barrier, failures):
+    """Worker: append *n_votes* votes whose codes all route to one shard."""
+    try:
+        store = AnswerStore(str(directory))  # n_shards=2 from the manifest
+        barrier.wait(timeout=MP_GUARD)
+        for k in range(n_votes):
+            # code % 2 == parity: this writer only ever touches its shard.
+            store.add_vote(2 * k + parity, bool(k % 2))
+        store.close()
+    except BaseException as error:  # pragma: no cover - failure reporting
+        failures.put(repr(error))
+
+
+def _lock_holder(directory, code, acquired, release, failures):
+    """Worker: take one shard's writer lock and hold it until released."""
+    try:
+        store = AnswerStore(str(directory))
+        store.add_vote(code, True)
+        acquired.set()
+        release.wait(timeout=MP_GUARD)
+        store.close()
+    except BaseException as error:  # pragma: no cover - failure reporting
+        acquired.set()
+        failures.put(repr(error))
+
+
+class TestMultiProcessWriters:
+    """The multi-writer contract: disjoint shards concurrently, same shard never."""
+
+    def _ctx(self):
+        pytest.importorskip("fcntl")
+        return multiprocessing.get_context("fork")
+
+    def test_two_processes_write_disjoint_shards_with_a_reader(self, tmp_path):
+        directory = tmp_path / "s"
+        AnswerStore(directory, n_shards=2).close()  # create before spawning
+        ctx = self._ctx()
+        n_votes = 200
+        barrier = ctx.Barrier(3)
+        failures = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_disjoint_writer,
+                args=(directory, parity, n_votes, barrier, failures),
+            )
+            for parity in (0, 1)
+        ]
+        for worker in workers:
+            worker.start()
+        barrier.wait(timeout=MP_GUARD)
+        # Interleaved reader: repeatedly load the store while both writers
+        # are appending.  Reads never lock, never block a writer, and only
+        # ever see a prefix of each shard's log (possibly a torn tail).
+        snapshots = []
+        while any(worker.is_alive() for worker in workers):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                reader = AnswerStore(directory)
+            snapshots.append(reader.n_votes)
+            reader.close()
+        for worker in workers:
+            worker.join(timeout=MP_GUARD)
+        assert failures.empty(), failures.get()
+        assert all(0 <= seen <= 2 * n_votes for seen in snapshots)
+        # No lost votes: every append from both writers is on disk.
+        final = AnswerStore(directory)
+        assert final.n_votes == 2 * n_votes
+        for k in range(n_votes):
+            expected = (0, 1) if k % 2 == 0 else (1, 0)
+            assert final.votes(2 * k) == expected
+            assert final.votes(2 * k + 1) == expected
+        final.close()
+
+    def test_same_shard_contention_raises_per_shard_error(self, tmp_path):
+        directory = tmp_path / "s"
+        AnswerStore(directory, n_shards=2).close()
+        ctx = self._ctx()
+        acquired = ctx.Event()
+        release = ctx.Event()
+        failures = ctx.Queue()
+        holder = ctx.Process(
+            target=_lock_holder, args=(directory, 0, acquired, release, failures)
+        )
+        holder.start()
+        try:
+            assert acquired.wait(timeout=MP_GUARD)
+            assert failures.empty()
+            local = AnswerStore(directory)
+            with pytest.raises(StoreError, match=r"shard 0 .* another\s+process"):
+                local.add_vote(2, True)  # 2 % 2 == 0: the held shard
+            local.add_vote(3, True)  # 3 % 2 == 1: free shard, no conflict
+            local.close()
+        finally:
+            release.set()
+            holder.join(timeout=MP_GUARD)
+        assert failures.empty()
+        final = AnswerStore(directory)
+        assert final.votes(0) == (1, 0)
+        assert final.votes(3) == (1, 0)
+        final.close()
 
 
 class TestStoredOracles:
@@ -530,8 +927,8 @@ class TestStoredOracles:
         StoredComparisonOracle(inner_c, store_c).compare_batch(
             rng.integers(0, 20, 60), rng.integers(0, 20, 60)
         )
-        assert set(store_c._votes) == set(inner_c._answer_cache)
-        assert all(code < 0 for code in store_c._votes)
+        assert set(store_c.codes()) == set(inner_c._answer_cache)
+        assert all(code < 0 for code in store_c.codes())
         store_c.close()
 
         space = _space(20, seed=1)
@@ -542,8 +939,8 @@ class TestStoredOracles:
         StoredQuadrupletOracle(inner_q, store_q).compare_batch(
             *(rng.integers(0, 20, 60) for _ in range(4))
         )
-        assert set(store_q._votes) == set(inner_q._answer_cache)
-        assert all(code >= 0 for code in store_q._votes)
+        assert set(store_q.codes()) == set(inner_q._answer_cache)
+        assert all(code >= 0 for code in store_q.codes())
         store_q.close()
 
     def test_len_less_inner_oracle_rejected_clearly(self, tmp_path):
@@ -600,11 +997,37 @@ class TestStoreCli:
         self._populate(directory)
         assert store_main(["compact", "--dir", directory]) == 0
         assert "compacted 2 key(s)" in capsys.readouterr().out
-        assert (tmp_path / "s" / "snapshot.json").exists()
-        # clean refuses without --yes, then removes both files with it.
+        assert fmt.shard_snapshot_path(tmp_path / "s", 0).exists()
+        # clean refuses without --yes, then removes everything with it.
         assert store_main(["clean", "--dir", directory]) == 2
         assert store_main(["clean", "--dir", directory, "--yes"]) == 0
-        assert not (tmp_path / "s" / "wal.jsonl").exists()
+        assert not fmt.manifest_path(tmp_path / "s").exists()
+        assert not (tmp_path / "s" / fmt.SHARDS_DIR_NAME).exists()
+
+    def test_stats_shards_breakdown(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        self._populate(directory)
+        assert store_main(["stats", "--dir", directory, "--shards"]) == 0
+        out = capsys.readouterr().out
+        assert f"{DEFAULT_N_SHARDS} shard(s)" in out
+        assert "shard    0:" in out
+
+    def test_migrate_subcommand(self, tmp_path, capsys):
+        directory = tmp_path / "s"
+        directory.mkdir()
+        header = json.dumps({"format": 1, "n_records": 9})
+        records = [json.dumps([k + 1, -(k + 1), 1]) for k in range(5)]
+        (directory / "wal.jsonl").write_text(
+            "".join(line + "\n" for line in [header] + records)
+        )
+        assert store_main(["migrate", "--dir", str(directory), "--shards", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "migrated" in out and "3 shard(s)" in out
+        assert fmt.manifest_path(directory).exists()
+        assert not (directory / "wal.jsonl").exists()
+        # Re-running reports idempotence.
+        assert store_main(["migrate", "--dir", str(directory)]) == 0
+        assert "already" in capsys.readouterr().out
 
     def test_no_command_prints_help(self, capsys):
         assert store_main([]) == 2
