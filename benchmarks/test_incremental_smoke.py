@@ -1,0 +1,55 @@
+"""Benchmark smoke: incremental maintenance versus full batch recomputes.
+
+Runs the ``incremental`` suite's acceptance cells (the same workload
+functions the standing bench cells call — which are themselves the
+differential-testing drivers, so every number below is backed by a
+bit-identity assertion at every checked step) and asserts the headline
+claim: at n = 5000 the amortized per-update cost of the incremental
+k-center maintainer beats a full recompute by >= 10x on the deterministic
+cost ledger.  Deterministic ratios are asserted; wall-clock figures are
+printed so CI logs double as a perf record without flaking on slow runners.
+"""
+
+from __future__ import annotations
+
+from repro.bench.workloads import (
+    run_incremental_count_max,
+    run_incremental_kcenter,
+    run_incremental_linkage,
+)
+
+#: The ISSUE's acceptance bar for the n = 5000 cell, on the deterministic
+#: charged-cost ledger (distance rows / oracle queries, not wall clock).
+MIN_ACCEPTANCE_RATIO = 10.0
+
+
+def test_incremental_kcenter_acceptance_cell():
+    metrics = run_incremental_kcenter(n=5000, mix="balanced", k=8)
+    measured = metrics["measured"]
+    print(
+        "\nincremental_kcenter smoke: "
+        f"cost ratio {metrics['cost_ratio']:.1f}x, "
+        f"{metrics['inc_cost_per_update']:.0f} rows/update vs "
+        f"{metrics['batch_cost_per_recompute']:.0f} rows/recompute, "
+        f"{metrics['n_fallbacks']} fallbacks, "
+        f"measured speedup {measured['speedup_per_update']:.1f}x"
+    )
+    assert metrics["outputs_identical"], "incremental k-center diverged from batch"
+    assert metrics["cost_ratio"] > MIN_ACCEPTANCE_RATIO, (
+        f"amortized per-update cost ratio {metrics['cost_ratio']:.1f}x fell "
+        f"below the {MIN_ACCEPTANCE_RATIO:.0f}x acceptance bar at n=5000"
+    )
+
+
+def test_incremental_count_max_smoke():
+    metrics = run_incremental_count_max(n_initial=150, mix="balanced")
+    assert metrics["outputs_identical"]
+    assert metrics["inc_charged"] < metrics["batch_charged"]
+    assert metrics["cost_ratio"] > MIN_ACCEPTANCE_RATIO
+
+
+def test_incremental_linkage_smoke():
+    metrics = run_incremental_linkage(n_initial=60, mix="balanced")
+    assert metrics["outputs_identical"]
+    assert metrics["inc_evals"] < metrics["batch_evals"]
+    assert metrics["cost_ratio"] > MIN_ACCEPTANCE_RATIO

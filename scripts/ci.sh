@@ -2,7 +2,7 @@
 # Local mirror of .github/workflows/ci.yml: same steps, same commands, so a
 # green `make ci` (or `scripts/ci.sh`) means a green pipeline.
 #
-# Usage: scripts/ci.sh [packaging|tests|lint|bench|docs|all]   (default: all)
+# Usage: scripts/ci.sh [packaging|tests|lint|coverage|bench|docs|all]   (default: all)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -29,6 +29,23 @@ run_tests() {
     python -m pytest -x -q --ignore=benchmarks
 }
 
+# Line-coverage floor for src/repro, enforced by the coverage job. A ratchet,
+# not a target: raise it when the measured number climbs, never lower it to
+# make a PR pass.
+COVERAGE_FAIL_UNDER=80
+
+run_coverage() {
+    echo "== coverage: coverage run -m pytest, fail-under ${COVERAGE_FAIL_UNDER}% =="
+    # Plain `coverage` (no pytest-cov plugin needed) so the step works
+    # anywhere the stdlib + coverage wheel exist.
+    if python -c "import coverage" >/dev/null 2>&1; then
+        python -m coverage run --source=src/repro -m pytest -q --ignore=benchmarks
+        python -m coverage report --fail-under="${COVERAGE_FAIL_UNDER}"
+    else
+        echo "coverage is not installed; skipping coverage (CI will still run it)." >&2
+    fi
+}
+
 run_lint() {
     echo "== lint: ruff check . =="
     if command -v ruff >/dev/null 2>&1; then
@@ -42,15 +59,18 @@ run_lint() {
 
 run_bench() {
     echo "== bench smoke: pytest benchmarks -q -k 'smoke or batch' =="
-    # Includes benchmarks/test_store_scale_smoke.py: the sharded warehouse
+    # Includes benchmarks/test_store_scale_smoke.py (the sharded warehouse
     # must serve warm strictly faster than the direct oracle and clear the
-    # cold-append throughput floor.
+    # cold-append throughput floor) and benchmarks/test_incremental_smoke.py
+    # (the incremental difftest acceptance cell: bit-identical to batch and
+    # >= 10x cheaper per update at n = 5000).
     python -m pytest benchmarks -q -s -k "smoke or batch" --benchmark-disable
     echo "== bench suite: python -m repro.bench run --quick =="
     # Writes BENCH_scaling.json + BENCH_batch.json + BENCH_service.json (the
     # crowd-service throughput/latency suite) + BENCH_store.json (the answer
     # warehouse: cross-session dedup cells plus the store_scale raw
-    # throughput cells) at the repo root.
+    # throughput cells) + BENCH_incremental.json (incremental maintainers
+    # vs full recomputes, measured by the difftest drivers) at the repo root.
     python -m repro.bench run --quick
 }
 
@@ -63,17 +83,19 @@ case "$step" in
     packaging) run_packaging ;;
     tests) run_tests ;;
     lint) run_lint ;;
+    coverage) run_coverage ;;
     bench) run_bench ;;
     docs) run_docs ;;
     all)
         run_packaging
         run_tests
         run_lint
+        run_coverage
         run_bench
         run_docs
         ;;
     *)
-        echo "unknown step: $step (expected packaging|tests|lint|bench|docs|all)" >&2
+        echo "unknown step: $step (expected packaging|tests|lint|coverage|bench|docs|all)" >&2
         exit 2
         ;;
 esac

@@ -20,7 +20,7 @@ from repro.exceptions import InvalidParameterError
 from repro.rng import derive_task_seeds
 
 #: The suites the CLI can emit, in artifact order.
-BENCH_SUITES = ("scaling", "batch", "service", "store")
+BENCH_SUITES = ("scaling", "batch", "service", "store", "incremental")
 
 
 @dataclass(frozen=True)
@@ -273,5 +273,55 @@ register(
             "group_commit_ms": [0.0, 5.0],
             "n_queries": [6000],
         },
+    )
+)
+# Incremental maintenance: amortized cost per update versus full recompute,
+# measured by the differential-testing drivers themselves so every number is
+# backed by a bit-identity assertion.  check_every inside the workloads is
+# n_ops // 8, so each cell prices ~9 full recomputes against 200 updates.
+register(
+    BenchSpec(
+        name="incremental_count_max",
+        suite="incremental",
+        runner=workloads.run_incremental_count_max,
+        description="Incremental Count-Max duels per update vs batch recomputes",
+        grid={
+            "n_initial": [300, 1000],
+            "mix": ["insert_heavy", "balanced", "delete_heavy"],
+            "noise": ["hashed"],
+        },
+        quick_grid={"n_initial": [150], "mix": ["balanced", "delete_heavy"]},
+    )
+)
+register(
+    BenchSpec(
+        name="incremental_kcenter",
+        suite="incremental",
+        runner=workloads.run_incremental_kcenter,
+        description="Incremental greedy k-center distance rows per update vs recomputes",
+        grid={
+            "n": [1000, 5000],
+            "mix": ["insert_heavy", "balanced", "delete_heavy"],
+            "k": [8],
+            "backend": ["lazy"],
+        },
+        # CI scale keeps the acceptance point — n = 5000, balanced mix —
+        # where the amortized per-update cost beats a full recompute by
+        # well over 10x (see BENCH_incremental.json).
+        quick_grid={"n": [1000, 5000], "mix": ["balanced"], "k": [8]},
+    )
+)
+register(
+    BenchSpec(
+        name="incremental_linkage",
+        suite="incremental",
+        runner=workloads.run_incremental_linkage,
+        description="Incremental dendrogram distance evals per update vs recomputes",
+        grid={
+            "n_initial": [100, 200],
+            "mix": ["insert_heavy", "balanced", "delete_heavy"],
+            "linkage": ["single", "complete"],
+        },
+        quick_grid={"n_initial": [60], "mix": ["balanced"], "linkage": ["single"]},
     )
 )

@@ -36,6 +36,12 @@ from typing import Any, Dict
 
 import numpy as np
 
+from repro.incremental.difftest import (
+    difftest_count_max,
+    difftest_kcenter,
+    difftest_linkage,
+)
+from repro.incremental.edits import generate_edit_stream
 from repro.kcenter.greedy_exact import greedy_kcenter_exact
 from repro.kcenter.objective import kcenter_objective
 from repro.maximum.count_max import count_max
@@ -530,3 +536,58 @@ def run_store_scale(
             "appends_per_fsync": stats["n_appends"] / max(stats["n_fsyncs"], 1),
         },
     }
+
+
+# --- incremental-maintenance workloads (BENCH_incremental.json) --------------
+
+
+def run_incremental_count_max(
+    n_initial: int = 300,
+    n_ops: int = 200,
+    mix: str = "balanced",
+    noise: str = "hashed",
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Amortized per-update Count-Max maintenance vs full batch recomputes.
+
+    Runs the differential-testing driver itself, so every benchmark number
+    comes from a stream whose incremental outputs were asserted bit-identical
+    to the batch recomputes they are priced against.
+    """
+    stream = generate_edit_stream(int(n_initial), int(n_ops), mix=mix, seed=seed)
+    return difftest_count_max(
+        stream, seed=seed, noise=noise, check_every=max(1, int(n_ops) // 8)
+    )
+
+
+def run_incremental_kcenter(
+    n: int = 1000,
+    n_ops: int = 200,
+    mix: str = "balanced",
+    k: int = 8,
+    backend: str = "lazy",
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Amortized per-update greedy k-center repair vs full batch recomputes."""
+    stream = generate_edit_stream(
+        int(n), int(n_ops), mix=mix, seed=seed, dimension=BENCH_DIMENSION
+    )
+    return difftest_kcenter(
+        stream, k=int(k), backend=backend, check_every=max(1, int(n_ops) // 8)
+    )
+
+
+def run_incremental_linkage(
+    n_initial: int = 100,
+    n_ops: int = 200,
+    mix: str = "balanced",
+    linkage: str = "single",
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Amortized per-update dendrogram maintenance vs full batch recomputes."""
+    stream = generate_edit_stream(
+        int(n_initial), int(n_ops), mix=mix, seed=seed, dimension=BENCH_DIMENSION
+    )
+    return difftest_linkage(
+        stream, linkage=linkage, check_every=max(1, int(n_ops) // 8)
+    )

@@ -74,3 +74,15 @@ class DatasetError(ReproError, ValueError):
 
 class ClusteringError(ReproError, RuntimeError):
     """A clustering routine reached an inconsistent internal state."""
+
+
+class DifftestMismatchError(ReproError, AssertionError):
+    """An incremental maintainer diverged from the batch recompute.
+
+    Raised by :mod:`repro.incremental.difftest` when, at some step of an
+    edit stream, the maintained output differs from a from-scratch batch
+    recompute over the same live set, or the incremental path charged more
+    than the batch path.  Equivalence at every step is the incremental
+    subsystem's defining correctness contract, so this error always means a
+    maintainer bug, never acceptable drift.
+    """

@@ -19,6 +19,98 @@ from repro.metric.space import MetricSpace
 _LINKAGES = ("single", "complete")
 
 
+def linkage_merge_loop(
+    points: Sequence[int],
+    dist: Dict[Tuple[int, int], float],
+    witness: Dict[Tuple[int, int], Tuple[int, int]],
+    linkage: str,
+    n_merges: int,
+    prefix: Sequence[Tuple[int, int]] = (),
+) -> Dendrogram:
+    """The agglomerative merge loop over a pre-built pairwise linkage table.
+
+    *dist* and *witness* are keyed by ``(a, b)`` with ``a < b`` over cluster
+    ids; leaves are ids ``0 .. len(points) - 1`` (positions in *points*) and
+    merges create ids ``n, n + 1, ...``.  Both dicts are mutated in place.
+
+    *prefix* replays known merges without the O(m^2) best-pair scan: each
+    ``(a, b)`` pair is merged directly (Lance–Williams updates still run), so
+    a caller that knows the first *j* merges of the answer — the incremental
+    maintainer — pays O(m) per replayed step instead of O(m^2).  Correctness
+    of a non-empty prefix is the caller's responsibility; with an empty
+    prefix this is exactly the loop :func:`exact_linkage` has always run.
+
+    The best-pair scan visits active cluster ids in sorted order, so equal
+    linkage values resolve to the lexicographically smallest ``(a, b)`` pair
+    regardless of how the active set was built — a from-scratch run and a
+    prefix-replayed run tie-break identically.
+    """
+    n = len(points)
+    dendrogram = Dendrogram(n_leaves=n)
+    if n == 1 or n_merges == 0:
+        return dendrogram
+
+    members: Dict[int, list] = {i: [i] for i in range(n)}
+    active = set(range(n))
+    prefix = list(prefix)
+
+    def key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    next_id = n
+    better = min if linkage == "single" else max
+    for step in range(n_merges):
+        if len(active) < 2:
+            break
+        if step < len(prefix):
+            a, b = prefix[step]
+            if a not in active or b not in active:
+                raise InvalidParameterError(
+                    f"prefix step {step} merges inactive clusters ({a}, {b})"
+                )
+            best_pair = key(a, b)
+            best_value = dist[best_pair]
+        else:
+            # Find the closest active pair (first strictly-smaller wins, in
+            # sorted id order).
+            best_pair = None
+            best_value = np.inf
+            ordered = sorted(active)
+            for a_pos, a in enumerate(ordered):
+                for b in ordered[a_pos + 1 :]:
+                    value = dist[(a, b)]
+                    if value < best_value:
+                        best_value = value
+                        best_pair = (a, b)
+        a, b = best_pair
+        merged_id = next_id
+        next_id += 1
+        members[merged_id] = members[a] + members[b]
+        step_witness = witness[key(a, b)]
+        dendrogram.add_merge(
+            MergeStep(
+                left=a,
+                right=b,
+                merged=merged_id,
+                witness_pair=(points[step_witness[0]], points[step_witness[1]]),
+                true_distance=float(best_value),
+                size=len(members[merged_id]),
+            )
+        )
+        active.discard(a)
+        active.discard(b)
+        # Lance-Williams update for single / complete linkage.
+        for c in active:
+            d_ac = dist[key(a, c)]
+            d_bc = dist[key(b, c)]
+            chosen = better(d_ac, d_bc)
+            dist[(c, merged_id) if c < merged_id else (merged_id, c)] = chosen
+            chosen_witness = witness[key(a, c)] if chosen == d_ac else witness[key(b, c)]
+            witness[(c, merged_id) if c < merged_id else (merged_id, c)] = chosen_witness
+        active.add(merged_id)
+    return dendrogram
+
+
 def exact_linkage(
     space: MetricSpace,
     linkage: str = "single",
@@ -58,67 +150,16 @@ def exact_linkage(
             f"n_merges must be between 0 and {n - 1}, got {n_merges}"
         )
 
-    dendrogram = Dendrogram(n_leaves=n)
     if n == 1 or n_merges == 0:
-        return dendrogram
+        return Dendrogram(n_leaves=n)
 
-    # Cluster state: id -> (leaf positions, witness pairs handled separately).
-    members: Dict[int, list] = {i: [i] for i in range(n)}
-    active = set(range(n))
-    # Pairwise linkage distances between active clusters, plus the witness
-    # record pair realising them.
+    # Pairwise linkage distances between initial singleton clusters, plus the
+    # witness record pair realising them.
     dist: Dict[Tuple[int, int], float] = {}
     witness: Dict[Tuple[int, int], Tuple[int, int]] = {}
-
-    def key(a: int, b: int) -> Tuple[int, int]:
-        return (a, b) if a < b else (b, a)
-
     for i in range(n):
         for j in range(i + 1, n):
-            d = space.distance(points[i], points[j])
-            dist[(i, j)] = d
+            dist[(i, j)] = space.distance(points[i], points[j])
             witness[(i, j)] = (i, j)
 
-    next_id = n
-    better = min if linkage == "single" else max
-    for _ in range(n_merges):
-        if len(active) < 2:
-            break
-        # Find the closest active pair.
-        best_pair = None
-        best_value = np.inf
-        for a in active:
-            for b in active:
-                if a >= b:
-                    continue
-                value = dist[key(a, b)]
-                if value < best_value:
-                    best_value = value
-                    best_pair = (a, b)
-        a, b = best_pair
-        merged_id = next_id
-        next_id += 1
-        members[merged_id] = members[a] + members[b]
-        step_witness = witness[key(a, b)]
-        dendrogram.add_merge(
-            MergeStep(
-                left=a,
-                right=b,
-                merged=merged_id,
-                witness_pair=(points[step_witness[0]], points[step_witness[1]]),
-                true_distance=float(best_value),
-                size=len(members[merged_id]),
-            )
-        )
-        active.discard(a)
-        active.discard(b)
-        # Lance-Williams update for single / complete linkage.
-        for c in active:
-            d_ac = dist[key(a, c)]
-            d_bc = dist[key(b, c)]
-            chosen = better(d_ac, d_bc)
-            dist[(c, merged_id) if c < merged_id else (merged_id, c)] = chosen
-            chosen_witness = witness[key(a, c)] if chosen == d_ac else witness[key(b, c)]
-            witness[(c, merged_id) if c < merged_id else (merged_id, c)] = chosen_witness
-        active.add(merged_id)
-    return dendrogram
+    return linkage_merge_loop(points, dist, witness, linkage, n_merges)

@@ -1,0 +1,42 @@
+"""Incremental maintenance of the paper's algorithms over a mutating point set.
+
+The batch algorithms (Count-Max, greedy k-center, exact linkage) recompute
+from scratch; a live catalog serving continuous updates cannot afford that.
+This package maintains their outputs under seeded insert/delete edit streams,
+recomputing only what each edit touches:
+
+* :class:`~repro.incremental.view.MutableSpaceView` — a live-subset view over
+  a static universe :class:`~repro.metric.space.MetricSpace`, with
+  distance-evaluation accounting;
+* :mod:`~repro.incremental.edits` — the seeded edit-stream generator shared
+  by tests and benchmarks;
+* :class:`~repro.incremental.maximum.IncrementalCountMax`,
+  :class:`~repro.incremental.kcenter.IncrementalGreedyKCenter`,
+  :class:`~repro.incremental.linkage.IncrementalLinkage` — the maintainers,
+  each exposing the batch code's result types;
+* :mod:`~repro.incremental.difftest` — the differential-testing harness: at
+  every step, incremental output must equal a full batch recompute
+  (bit-identical under shared seeds), and the incremental path's charged
+  cost must never exceed the batch path's.
+
+Equivalence to full recompute is the *defining* correctness contract, in the
+differential-dataflow tradition: the maintainers are only trusted because
+``tests/difftest/`` proves them against the batch code at every edit.
+"""
+
+from repro.incremental.edits import EDIT_MIXES, Edit, EditStream, generate_edit_stream
+from repro.incremental.kcenter import IncrementalGreedyKCenter
+from repro.incremental.linkage import IncrementalLinkage
+from repro.incremental.maximum import IncrementalCountMax
+from repro.incremental.view import MutableSpaceView
+
+__all__ = [
+    "Edit",
+    "EditStream",
+    "EDIT_MIXES",
+    "generate_edit_stream",
+    "MutableSpaceView",
+    "IncrementalCountMax",
+    "IncrementalGreedyKCenter",
+    "IncrementalLinkage",
+]

@@ -1,0 +1,155 @@
+"""Seeded insert/delete edit streams over a pre-generated universe.
+
+One generator serves both the differential tests and the incremental
+benchmark suite, so they exercise byte-for-byte the same workloads.  A
+stream fixes, deterministically from ``(n_initial, n_ops, mix, seed)``:
+
+* the **universe** — coordinates (and scalar values, for Count-Max) for
+  every record that will ever exist.  Inserts reveal universe ids in
+  increasing order, so a record's id — and hence every distance — is
+  independent of when (or whether) it goes live;
+* the **ops** — ``insert``/``delete`` choices drawn at the mix's insert
+  ratio, with guards that keep at least ``min_live`` records live.
+
+Determinism contract: the same arguments always produce the same universe
+and the same op sequence, and the stream is *prefix-stable* in ``n_ops``
+only in the trivial sense (a longer stream redraws everything) — callers
+share streams by sharing arguments, not prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.rng import SeedLike, ensure_rng
+
+#: Named edit mixes: the probability that one op is an insert.
+EDIT_MIXES: Dict[str, float] = {
+    "insert_heavy": 0.8,
+    "balanced": 0.5,
+    "delete_heavy": 0.2,
+}
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One edit: ``op`` is ``"insert"`` or ``"delete"``, *ident* a universe id."""
+
+    op: str
+    ident: int
+
+
+@dataclass
+class EditStream:
+    """A seeded edit stream plus the universe it plays out over."""
+
+    points: np.ndarray
+    values: np.ndarray
+    initial_ids: List[int]
+    edits: List[Edit] = field(default_factory=list)
+    seed: int = 0
+    mix: str = "balanced"
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.edits)
+
+    @property
+    def n_universe(self) -> int:
+        return int(len(self.points))
+
+    def replay_live(self) -> List[int]:
+        """The live id list after applying every edit (insertion order)."""
+        live = list(self.initial_ids)
+        live_set = set(live)
+        for edit in self.edits:
+            if edit.op == "insert":
+                live.append(edit.ident)
+                live_set.add(edit.ident)
+            else:
+                live.remove(edit.ident)
+                live_set.remove(edit.ident)
+        return live
+
+
+def generate_edit_stream(
+    n_initial: int,
+    n_ops: int,
+    mix: str = "balanced",
+    seed: SeedLike = 0,
+    dimension: int = 4,
+    min_live: int = 2,
+) -> EditStream:
+    """Generate a seeded edit stream (shared by tests and benchmarks).
+
+    Parameters
+    ----------
+    n_initial:
+        Records live before the first edit (universe ids ``0..n_initial-1``).
+    n_ops:
+        Number of edits.
+    mix:
+        A key of :data:`EDIT_MIXES` or a float insert ratio in ``[0, 1]``.
+    seed:
+        Seeds the universe coordinates/values and the op draws.
+    dimension:
+        Universe coordinate dimension.
+    min_live:
+        Deletes are suppressed (forced inserts) when the live set would
+        otherwise shrink below this floor.
+    """
+    if n_initial < 1:
+        raise InvalidParameterError(f"n_initial must be >= 1, got {n_initial}")
+    if n_ops < 0:
+        raise InvalidParameterError(f"n_ops must be >= 0, got {n_ops}")
+    if min_live < 1:
+        raise InvalidParameterError(f"min_live must be >= 1, got {min_live}")
+    if isinstance(mix, str):
+        if mix not in EDIT_MIXES:
+            raise InvalidParameterError(
+                f"unknown edit mix {mix!r}; known: {', '.join(EDIT_MIXES)}"
+            )
+        insert_ratio = EDIT_MIXES[mix]
+        mix_name = mix
+    else:
+        insert_ratio = float(mix)
+        if not 0.0 <= insert_ratio <= 1.0:
+            raise InvalidParameterError(
+                f"insert ratio must be in [0, 1], got {insert_ratio}"
+            )
+        mix_name = f"ratio={insert_ratio}"
+
+    rng = ensure_rng(seed)
+    # Oversized on purpose: at most n_ops inserts can happen, so the universe
+    # never runs out and ids never depend on the op draws below.
+    n_universe = n_initial + n_ops
+    points = rng.uniform(0.0, 1.0, size=(n_universe, int(dimension)))
+    values = rng.uniform(0.0, 100.0, size=n_universe)
+
+    live: List[int] = list(range(n_initial))
+    next_id = n_initial
+    edits: List[Edit] = []
+    for _ in range(n_ops):
+        can_delete = len(live) > min_live
+        do_insert = (not can_delete) or bool(rng.random() < insert_ratio)
+        if do_insert:
+            edits.append(Edit("insert", next_id))
+            live.append(next_id)
+            next_id += 1
+        else:
+            victim = live[int(rng.integers(0, len(live)))]
+            edits.append(Edit("delete", victim))
+            live.remove(victim)
+
+    return EditStream(
+        points=points,
+        values=values,
+        initial_ids=list(range(n_initial)),
+        edits=edits,
+        seed=int(seed) if isinstance(seed, (int, np.integer)) else 0,
+        mix=mix_name,
+    )

@@ -61,6 +61,24 @@ def count_scores(
     return scores
 
 
+def resolve_count_winner(scores: Dict[int, int], seed: SeedLike = None) -> int:
+    """Pick the winner from a Count-score table, with the seeded tie-break.
+
+    The tie-break is part of the algorithm's observable behaviour (winners in
+    dictionary insertion order, one ``rng.integers`` draw), so it lives in one
+    place: :func:`count_max` and the incremental maintainer both call it, which
+    is what makes their outputs bit-identical under a shared seed.
+    """
+    if not scores:
+        raise EmptyInputError("resolve_count_winner needs at least one score")
+    best_score = max(scores.values())
+    winners = [i for i, s in scores.items() if s == best_score]
+    if len(winners) == 1:
+        return winners[0]
+    rng = ensure_rng(seed)
+    return int(winners[int(rng.integers(0, len(winners)))])
+
+
 def count_max(
     items: Sequence[int],
     oracle: BaseComparisonOracle,
@@ -76,13 +94,7 @@ def count_max(
         raise EmptyInputError("count_max needs at least one item")
     if len(items) == 1:
         return items[0]
-    scores = count_scores(items, oracle)
-    best_score = max(scores.values())
-    winners = [i for i, s in scores.items() if s == best_score]
-    if len(winners) == 1:
-        return winners[0]
-    rng = ensure_rng(seed)
-    return int(winners[int(rng.integers(0, len(winners)))])
+    return resolve_count_winner(count_scores(items, oracle), seed=seed)
 
 
 def count_min(

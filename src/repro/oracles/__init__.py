@@ -25,6 +25,7 @@ from repro.oracles.crowd import BucketAccuracyProfile, CrowdQuadrupletOracle
 from repro.oracles.noise import (
     AdversarialNoise,
     ExactNoise,
+    HashedProbabilisticNoise,
     NoiseModel,
     ProbabilisticNoise,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "NoiseModel",
     "ExactNoise",
     "AdversarialNoise",
+    "HashedProbabilisticNoise",
     "ProbabilisticNoise",
     "BaseComparisonOracle",
     "BaseQuadrupletOracle",

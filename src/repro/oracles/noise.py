@@ -360,6 +360,79 @@ class ProbabilisticNoise(NoiseModel):
         return f"ProbabilisticNoise(p={self.p}, persistent={self.persistent})"
 
 
+class HashedProbabilisticNoise(NoiseModel):
+    """Persistent probabilistic noise keyed by the query, not by arrival order.
+
+    :class:`ProbabilisticNoise` draws its flips from one generator stream in
+    *first-occurrence order*, so two instances with the same seed only agree
+    when they see the distinct queries in the same order.  This model instead
+    derives each flip from a stateless integer hash of ``(seed, key)``:
+    any two instances with the same ``(p, seed)`` answer every query
+    identically no matter how, or in what order, the queries arrive.
+
+    That property is what differential testing needs — an incremental
+    maintainer and a from-scratch batch recompute issue the same *set* of
+    queries in very different orders, and both must face the same crowd.
+    Requires integer keys (the oracle layer's canonical codes).
+
+    Statistically each distinct query is still flipped independently with
+    probability *p* and the flip persists forever, matching the paper's
+    persistent-error model.
+    """
+
+    #: splitmix64 constants (Steele, Lea & Flood 2014).
+    _GAMMA = np.uint64(0x9E3779B97F4A7C15)
+    _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+    _MIX2 = np.uint64(0x94D049BB133111EB)
+
+    def __init__(self, p: float, seed: SeedLike = None):
+        if not 0.0 <= p < 0.5:
+            raise InvalidParameterError(f"p must be in [0, 0.5), got {p}")
+        self.p = float(p)
+        # Derive one 64-bit salt from the seed through the library's RNG
+        # policy, so SeedLike values (None, int, Generator) all work.
+        self.seed_salt = np.uint64(ensure_rng(seed).integers(0, 2**63, dtype=np.int64))
+        self._threshold = np.uint64(int(self.p * float(2**64)))
+
+    def _mix(self, codes: np.ndarray) -> np.ndarray:
+        """splitmix64 finalizer over ``codes ^ salt`` (vectorised, wrapping)."""
+        with np.errstate(over="ignore"):
+            z = (codes ^ self.seed_salt) + self._GAMMA
+            z = (z ^ (z >> np.uint64(30))) * self._MIX1
+            z = (z ^ (z >> np.uint64(27))) * self._MIX2
+            return z ^ (z >> np.uint64(31))
+
+    def _flips(self, keys: np.ndarray) -> np.ndarray:
+        codes = np.asarray(keys)
+        if codes.dtype.kind not in "iu":
+            raise InvalidParameterError(
+                "HashedProbabilisticNoise requires integer query keys, got "
+                f"dtype {codes.dtype}"
+            )
+        return self._mix(codes.astype(np.int64).view(np.uint64)) < self._threshold
+
+    def answer(self, left: float, right: float, key: Hashable) -> bool:
+        if not isinstance(key, (int, np.integer)):
+            raise InvalidParameterError(
+                f"HashedProbabilisticNoise requires integer query keys, got {key!r}"
+            )
+        truth = self._true_answer(left, right)
+        return bool(truth ^ bool(self._flips(np.asarray([key]))[0]))
+
+    def answer_batch(self, left, right, keys) -> np.ndarray:
+        left, right = _check_batch_lengths(left, right, keys)
+        truth = left <= right
+        if not len(truth):
+            return truth
+        return truth ^ self._flips(keys)
+
+    def reset(self) -> None:
+        """A no-op: answers are a pure function of ``(p, seed, key)``."""
+
+    def __repr__(self) -> str:
+        return f"HashedProbabilisticNoise(p={self.p})"
+
+
 def make_noise_model(
     kind: str,
     mu: float = 0.0,
@@ -367,13 +440,16 @@ def make_noise_model(
     seed: SeedLike = None,
     **kwargs,
 ) -> NoiseModel:
-    """Factory used by experiment configs: ``kind`` is ``"exact"``, ``"adversarial"`` or ``"probabilistic"``."""
+    """Factory used by experiment configs: ``kind`` is ``"exact"``, ``"adversarial"``, ``"probabilistic"`` or ``"hashed"``."""
     if kind == "exact":
         return ExactNoise()
     if kind == "adversarial":
         return AdversarialNoise(mu=mu, seed=seed, **kwargs)
     if kind == "probabilistic":
         return ProbabilisticNoise(p=p, seed=seed, **kwargs)
+    if kind == "hashed":
+        return HashedProbabilisticNoise(p=p, seed=seed, **kwargs)
     raise InvalidParameterError(
-        f"unknown noise kind {kind!r}; expected 'exact', 'adversarial' or 'probabilistic'"
+        f"unknown noise kind {kind!r}; expected 'exact', 'adversarial', "
+        "'probabilistic' or 'hashed'"
     )

@@ -1,0 +1,187 @@
+"""Tests for the differential-testing harness's own machinery.
+
+The drivers in `repro.incremental.difftest` are only trustworthy if the
+shared edit-stream generator is deterministic, the mutable view counts what
+it claims to count, and a genuine divergence actually raises — this module
+proves the harness; the per-algorithm difftest modules use it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DifftestMismatchError, InvalidParameterError
+from repro.incremental.difftest import (
+    DIFFTEST_NOISE_KINDS,
+    _check_steps,
+    difftest_count_max,
+    difftest_kcenter,
+)
+from repro.incremental.edits import EDIT_MIXES, generate_edit_stream
+from repro.incremental.view import MutableSpaceView
+from repro.metric.space import PointCloudSpace
+
+
+class TestEditStream:
+    def test_same_arguments_same_stream(self):
+        a = generate_edit_stream(30, 100, mix="balanced", seed=7)
+        b = generate_edit_stream(30, 100, mix="balanced", seed=7)
+        assert np.array_equal(a.points, b.points)
+        assert np.array_equal(a.values, b.values)
+        assert a.edits == b.edits
+
+    def test_different_seeds_differ(self):
+        a = generate_edit_stream(30, 100, seed=1)
+        b = generate_edit_stream(30, 100, seed=2)
+        assert a.edits != b.edits or not np.array_equal(a.points, b.points)
+
+    def test_universe_is_oversized_and_ids_monotone(self):
+        stream = generate_edit_stream(20, 80, mix="insert_heavy", seed=0)
+        assert stream.n_universe == 100
+        inserted = [e.ident for e in stream.edits if e.op == "insert"]
+        assert inserted == sorted(inserted)
+        assert inserted[0] == 20  # first insert reveals the next universe id
+
+    @pytest.mark.parametrize("mix", sorted(EDIT_MIXES))
+    def test_mixes_respect_min_live_floor(self, mix):
+        stream = generate_edit_stream(4, 150, mix=mix, seed=3, min_live=2)
+        live = set(stream.initial_ids)
+        for edit in stream.edits:
+            live.add(edit.ident) if edit.op == "insert" else live.remove(edit.ident)
+            assert len(live) >= 2
+
+    def test_mix_ratios_order_as_named(self):
+        def n_inserts(mix):
+            s = generate_edit_stream(50, 300, mix=mix, seed=11)
+            return sum(e.op == "insert" for e in s.edits)
+
+        assert n_inserts("insert_heavy") > n_inserts("balanced") > n_inserts("delete_heavy")
+
+    def test_replay_live_matches_edit_application(self):
+        stream = generate_edit_stream(10, 60, mix="balanced", seed=5)
+        live = list(stream.initial_ids)
+        for e in stream.edits:
+            live.append(e.ident) if e.op == "insert" else live.remove(e.ident)
+        assert stream.replay_live() == live
+
+    def test_numeric_mix_and_validation(self):
+        stream = generate_edit_stream(10, 20, mix=1.0, seed=0)
+        assert all(e.op == "insert" for e in stream.edits)
+        with pytest.raises(InvalidParameterError):
+            generate_edit_stream(0, 10)
+        with pytest.raises(InvalidParameterError):
+            generate_edit_stream(10, 10, mix="weird")
+        with pytest.raises(InvalidParameterError):
+            generate_edit_stream(10, 10, mix=1.5)
+
+
+class TestMutableSpaceView:
+    def _view(self, n=20, live=(0, 1, 2)):
+        points = np.random.default_rng(0).normal(size=(n, 3))
+        return MutableSpaceView(PointCloudSpace(points), live=list(live))
+
+    def test_live_order_is_insertion_order(self):
+        view = self._view()
+        view.insert(7)
+        view.delete(1)
+        assert view.live_ids() == [0, 2, 7]
+        assert view.n_live == 3 and view.is_live(7) and not view.is_live(1)
+
+    def test_double_insert_and_missing_delete_rejected(self):
+        view = self._view()
+        with pytest.raises(InvalidParameterError):
+            view.insert(0)
+        with pytest.raises(InvalidParameterError):
+            view.delete(19)
+        with pytest.raises(InvalidParameterError):
+            view.insert(25)  # outside the universe
+
+    def test_distances_match_base_and_are_counted(self):
+        view = self._view()
+        base = view.base
+        assert view.distance(0, 2) == base.distance(0, 2)
+        assert view.scalar_evals == 1
+        rows = view.distances_from(0, [1, 2, 7])
+        assert np.array_equal(rows, base.distances_from(0, [1, 2, 7]))
+        assert view.batch_rows == 3
+        out = view.pair_distances([0, 1], [2, 2])
+        assert np.array_equal(out, base.pair_distances([0, 1], [2, 2]))
+        assert view.batch_rows == 5
+        assert view.total_evals == 6
+        stats = view.stats()
+        assert stats["total_evals"] == 6 and stats["n_live"] == 3
+
+    def test_prepaid_rows_are_not_recharged(self):
+        view = self._view()
+        probe = view.distances_from(7, [0, 1, 2])
+        assert view.batch_rows == 3
+        for c, d in zip([0, 1, 2], probe):
+            view.prepay(c, 7, d)
+        # Entry (0, 7) comes from the deposit; only 3 fresh entries charge.
+        row = view.distances_from(0, [1, 2, 5, 7])
+        assert view.batch_rows == 6
+        assert np.array_equal(row, view.base.distances_from(0, [1, 2, 5, 7]))
+        view.clear_prepaid()
+        view.distances_from(0, [7])
+        assert view.batch_rows == 7
+
+    def test_deleted_records_remain_queryable(self):
+        # The universe is static; deletion only affects the live set.
+        view = self._view()
+        view.delete(0)
+        assert view.distance(0, 1) == view.base.distance(0, 1)
+
+
+class TestHarnessMachinery:
+    def test_check_steps_always_include_first_and_last(self):
+        steps = _check_steps(10, 3)
+        assert 0 in steps and 10 in steps and steps == {0, 3, 6, 9, 10}
+        with pytest.raises(InvalidParameterError):
+            _check_steps(10, 0)
+
+    def test_order_dependent_noise_rejected(self):
+        stream = generate_edit_stream(10, 5, seed=0)
+        with pytest.raises(InvalidParameterError):
+            difftest_count_max(stream, noise="probabilistic")
+        assert set(DIFFTEST_NOISE_KINDS) == {"exact", "lie", "hashed"}
+
+    def test_real_divergence_raises_mismatch(self, monkeypatch):
+        # Sabotage the batch score table: the harness must trip, not just
+        # pass vacuously (proves the comparison actually bites).
+        stream = generate_edit_stream(12, 30, mix="balanced", seed=2)
+        ok = difftest_count_max(stream, seed=1, noise="exact")
+        assert ok["outputs_identical"] is True
+
+        from repro.incremental import difftest as dt
+
+        original = dt.count_scores
+
+        def corrupted(items, oracle):
+            scores = original(items, oracle)
+            first = next(iter(scores))
+            scores[first] += 1  # batch path now disagrees
+            return scores
+
+        monkeypatch.setattr(dt, "count_scores", corrupted)
+        with pytest.raises(DifftestMismatchError):
+            difftest_count_max(stream, seed=1, noise="exact")
+
+    def test_cost_dominance_violation_raises(self):
+        from repro.incremental.difftest import _assert_cost_dominance
+
+        _assert_cost_dominance(3, "queries", 10, 10)
+        with pytest.raises(DifftestMismatchError):
+            _assert_cost_dominance(3, "queries", 11, 10)
+
+    def test_kcenter_report_shape(self):
+        stream = generate_edit_stream(30, 40, mix="balanced", seed=4)
+        report = difftest_kcenter(stream, k=3, check_every=10)
+        assert report["outputs_identical"] is True
+        assert report["n_checks"] == 5  # steps 0, 10, 20, 30, 40
+        assert report["inc_evals"] > 0 and report["batch_evals"] > 0
+        assert set(report["measured"]) >= {
+            "inc_seconds",
+            "batch_seconds",
+            "speedup_per_update",
+        }

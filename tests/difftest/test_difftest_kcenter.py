@@ -1,0 +1,100 @@
+"""Differential tests: IncrementalGreedyKCenter == batch greedy at every step.
+
+The maintained :class:`~repro.kcenter.objective.ClusteringResult` must equal
+``greedy_kcenter_exact`` (first center pinned to the first live point) after
+every edit of a >= 200-op seeded stream, and the maintainer must request
+strictly fewer distance rows than the recomputes it replaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.incremental.difftest import difftest_kcenter
+from repro.incremental.edits import generate_edit_stream
+from repro.incremental.kcenter import IncrementalGreedyKCenter
+from repro.incremental.view import MutableSpaceView
+from repro.metric.space import PointCloudSpace
+
+
+def test_200_op_stream_identical_every_step():
+    stream = generate_edit_stream(120, 200, mix="balanced", seed=2)
+    report = difftest_kcenter(stream, k=5, check_every=1)
+    assert report["outputs_identical"] is True
+    assert report["n_checks"] == 201
+    assert report["inc_evals"] < report["batch_evals"]
+    # The point of the maintainer: most inserts take the O(k) fast path.
+    assert report["n_fast_inserts"] > report["n_fallbacks"]
+
+
+@pytest.mark.parametrize("mix", ["insert_heavy", "delete_heavy"])
+def test_skewed_mixes_identical_every_step(mix):
+    stream = generate_edit_stream(80, 200, mix=mix, seed=6)
+    report = difftest_kcenter(stream, k=4, check_every=1)
+    assert report["outputs_identical"] is True
+    assert report["inc_evals"] <= report["batch_evals"]
+
+
+def test_live_set_below_k_grows_through_k():
+    # Start below k: the clustering must track k_eff = n_live until k fits,
+    # exercising the grow-path recomputes and center deletions.
+    stream = generate_edit_stream(2, 200, mix="balanced", seed=8, min_live=2)
+    report = difftest_kcenter(stream, k=6, check_every=1)
+    assert report["outputs_identical"] is True
+
+
+def test_lazy_backend_matches_dense_difftest():
+    stream = generate_edit_stream(60, 120, mix="balanced", seed=3)
+    dense = difftest_kcenter(stream, k=4, backend="dense", check_every=10)
+    lazy = difftest_kcenter(stream, k=4, backend="lazy", check_every=10)
+    # Same deterministic ledger regardless of backend.
+    assert dense["inc_evals"] == lazy["inc_evals"]
+    assert dense["batch_evals"] == lazy["batch_evals"]
+    assert dense["n_fallbacks"] == lazy["n_fallbacks"]
+
+
+class TestMaintainerUnit:
+    def _maintainer(self, n=12, live=6, k=3, seed=0):
+        points = np.random.default_rng(seed).normal(size=(n, 3))
+        view = MutableSpaceView(PointCloudSpace(points), live=range(live))
+        return IncrementalGreedyKCenter(view, k=k)
+
+    def test_k_validation(self):
+        points = np.random.default_rng(0).normal(size=(4, 2))
+        view = MutableSpaceView(PointCloudSpace(points), live=[0, 1])
+        with pytest.raises(InvalidParameterError):
+            IncrementalGreedyKCenter(view, k=0)
+
+    def test_empty_result_raises(self):
+        points = np.random.default_rng(0).normal(size=(4, 2))
+        view = MutableSpaceView(PointCloudSpace(points))
+        inc = IncrementalGreedyKCenter(view, k=2)
+        with pytest.raises(EmptyInputError):
+            inc.result()
+
+    def test_anchor_delete_falls_back(self):
+        inc = self._maintainer()
+        fallbacks = inc.n_fallbacks
+        inc.delete(0)  # live[0] is always the pinned first center
+        assert inc.n_fallbacks == fallbacks + 1
+
+    def test_non_center_delete_is_fast(self):
+        inc = self._maintainer()
+        victims = [i for i in inc.view.live_ids() if i not in inc.centers]
+        fallbacks = inc.n_fallbacks
+        inc.delete(victims[0])
+        assert inc.n_fallbacks == fallbacks
+        assert inc.n_fast_deletes == 1
+
+    def test_delete_to_empty_then_reinsert(self):
+        points = np.random.default_rng(1).normal(size=(3, 2))
+        view = MutableSpaceView(PointCloudSpace(points), live=[0])
+        inc = IncrementalGreedyKCenter(view, k=2)
+        inc.delete(0)
+        with pytest.raises(EmptyInputError):
+            inc.result()
+        inc.insert(1)
+        result = inc.result()
+        assert result.centers == [1]

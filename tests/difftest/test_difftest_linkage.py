@@ -1,0 +1,95 @@
+"""Differential tests: IncrementalLinkage == batch exact linkage at every step.
+
+The maintained dendrogram — valid prefix replayed, suffix recomputed — must
+equal ``exact_linkage`` over the live order, ``MergeStep`` for ``MergeStep``,
+after every edit of a >= 200-op seeded stream, for both single and complete
+linkage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.incremental.difftest import difftest_linkage
+from repro.incremental.edits import generate_edit_stream
+from repro.incremental.linkage import IncrementalLinkage
+from repro.incremental.view import MutableSpaceView
+from repro.metric.space import PointCloudSpace
+
+
+@pytest.mark.parametrize("linkage", ["single", "complete"])
+def test_200_op_stream_identical_every_step(linkage):
+    stream = generate_edit_stream(40, 200, mix="balanced", seed=3)
+    report = difftest_linkage(stream, linkage=linkage, check_every=1)
+    assert report["outputs_identical"] is True
+    assert report["n_checks"] == 201
+    assert report["inc_evals"] < report["batch_evals"]
+    # Prefix replay must actually engage: most cached merges survive edits.
+    assert report["n_replayed"] > 0
+
+
+@pytest.mark.parametrize("mix", ["insert_heavy", "delete_heavy"])
+def test_skewed_mixes_identical_every_step(mix):
+    stream = generate_edit_stream(30, 200, mix=mix, seed=7)
+    report = difftest_linkage(stream, linkage="single", check_every=1)
+    assert report["outputs_identical"] is True
+    assert report["inc_evals"] <= report["batch_evals"]
+
+
+def test_tiny_live_set_edges():
+    # Shrinking to the min_live floor exercises n == 2 dendrograms (one
+    # merge) and the prefix-invalidation path on nearly every delete.
+    stream = generate_edit_stream(2, 200, mix="delete_heavy", seed=5, min_live=2)
+    report = difftest_linkage(stream, linkage="complete", check_every=1)
+    assert report["outputs_identical"] is True
+
+
+def test_lazy_backend_matches_dense_difftest():
+    stream = generate_edit_stream(25, 80, mix="balanced", seed=4)
+    dense = difftest_linkage(stream, linkage="single", backend="dense", check_every=20)
+    lazy = difftest_linkage(stream, linkage="single", backend="lazy", check_every=20)
+    assert dense["inc_evals"] == lazy["inc_evals"]
+    assert dense["batch_evals"] == lazy["batch_evals"]
+
+
+class TestMaintainerUnit:
+    def _maintainer(self, n=10, live=5, linkage="single", seed=0):
+        points = np.random.default_rng(seed).normal(size=(n, 3))
+        view = MutableSpaceView(PointCloudSpace(points), live=range(live))
+        return IncrementalLinkage(view, linkage=linkage)
+
+    def test_linkage_validation(self):
+        points = np.random.default_rng(0).normal(size=(4, 2))
+        view = MutableSpaceView(PointCloudSpace(points), live=[0, 1])
+        with pytest.raises(InvalidParameterError):
+            IncrementalLinkage(view, linkage="average")
+
+    def test_empty_result_raises(self):
+        points = np.random.default_rng(0).normal(size=(4, 2))
+        view = MutableSpaceView(PointCloudSpace(points))
+        inc = IncrementalLinkage(view)
+        with pytest.raises(EmptyInputError):
+            inc.result()
+
+    def test_singleton_dendrogram(self):
+        inc = self._maintainer(live=1)
+        dendrogram = inc.result()
+        assert dendrogram.n_leaves == 1 and dendrogram.merges == []
+
+    def test_replay_counter_advances_on_untouched_prefix(self):
+        inc = self._maintainer(n=20, live=8)
+        first = inc.result()
+        assert inc.n_recomputed == len(first.merges)
+        # A delete of a point whose first merge is late keeps an early prefix.
+        inc.insert(9)
+        inc.result()
+        assert inc.n_replayed + inc.n_recomputed >= len(first.merges)
+
+    def test_distance_pool_dropped_on_delete(self):
+        inc = self._maintainer(live=4)
+        n_pairs = len(inc._pair_dist)
+        assert n_pairs == 6
+        inc.delete(2)
+        assert len(inc._pair_dist) == 3

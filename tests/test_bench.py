@@ -25,7 +25,7 @@ from repro.exceptions import InvalidParameterError
 
 class TestPlanning:
     def test_suites_and_specs_registered(self):
-        assert BENCH_SUITES == ("scaling", "batch", "service", "store")
+        assert BENCH_SUITES == ("scaling", "batch", "service", "store", "incremental")
         assert set(bench_spec_names("scaling")) == {
             "count_max",
             "greedy_kcenter",
@@ -37,6 +37,23 @@ class TestPlanning:
         }
         assert set(bench_spec_names("service")) == {"service_throughput"}
         assert set(bench_spec_names("store")) == {"store_dedup", "store_scale"}
+        assert set(bench_spec_names("incremental")) == {
+            "incremental_count_max",
+            "incremental_kcenter",
+            "incremental_linkage",
+        }
+
+    def test_incremental_quick_grid_keeps_the_acceptance_point(self):
+        # The acceptance point: k-center at n = 5000, balanced mix, where the
+        # amortized per-update cost beats a full recompute by >= 10x.
+        cells = [
+            c
+            for c in plan_cells("incremental", quick=True)
+            if c.algorithm == "incremental_kcenter"
+        ]
+        assert any(
+            c.params["n"] == 5000 and c.params["mix"] == "balanced" for c in cells
+        )
 
     def test_service_quick_grid_keeps_the_16_session_point(self):
         cells = plan_cells("service", quick=True)

@@ -428,5 +428,29 @@ class TestLoadDriverAndCli:
         assert "20 queries from 4 sessions" in out
         assert "latency: p50" in out
 
+    def test_cli_store_shards_plumbs_through_to_the_manifest(self, tmp_path, capsys):
+        # --store-shards must reach AnswerStore: the warehouse the service
+        # creates is laid out at the requested shard count, and a later run
+        # without the flag adopts the manifest's count instead of the default.
+        import json
+
+        from repro.store import format as fmt
+
+        store_dir = tmp_path / "warehouse"
+        base_args = [
+            "--sessions", "2",
+            "--queries", "4",
+            "--records", "30",
+            "--latency-ms", "0",
+            "--window-ms", "1",
+            "--store-dir", str(store_dir),
+        ]
+        assert service_main(base_args + ["--store-shards", "3"]) == 0
+        capsys.readouterr()
+        manifest = json.loads(fmt.manifest_path(store_dir).read_text())
+        assert manifest["n_shards"] == 3
+        assert service_main(base_args) == 0  # manifest wins over the default
+        assert json.loads(fmt.manifest_path(store_dir).read_text())["n_shards"] == 3
+
     def test_cli_rejects_invalid_parameters(self, capsys):
         assert service_main(["--sessions", "0"]) == 2

@@ -15,6 +15,7 @@ from __future__ import annotations
 import asyncio
 import json
 import multiprocessing
+import shutil
 import warnings
 
 import numpy as np
@@ -405,6 +406,108 @@ class TestWalRecovery:
         store.close()
 
 
+class TestWalTornTailFuzz:
+    """Seeded fuzz: any torn tail recovers the longest clean record prefix.
+
+    The targeted tests above damage one chosen byte; these sweep seeded
+    random truncation offsets (plus the deliberate edges: mid-header, the
+    header boundary, and the final checksum bytes of each record) and assert
+    the recovery contract at every one — votes fully before the cut survive,
+    everything after is dropped with a warning, clean cuts load silently,
+    and a post-recovery append always lands and survives reload.
+    """
+
+    N_VOTES = 6
+
+    def _seed_store(self, directory):
+        store = AnswerStore(directory, n_shards=1)
+        for code in range(self.N_VOTES):
+            store.add_vote(10 + code, bool(code % 2))
+        store.close()
+
+    def _wal_layout(self, directory):
+        """WAL bytes, header end, and the end offset of every record."""
+        data = fmt.shard_wal_path(directory, 0).read_bytes()
+        header_end = data.index(b"\n") + 1
+        ends = [header_end]
+        while ends[-1] < len(data):
+            _, _, _, end = fmt.decode_votes_at(data, ends[-1])
+            ends.append(end)
+        return data, header_end, ends
+
+    def test_every_truncation_offset_recovers_longest_prefix(self, tmp_path):
+        rng = np.random.default_rng(0xA11CE)
+        base = tmp_path / "base"
+        self._seed_store(base)
+        data, header_end, ends = self._wal_layout(base)
+        clean_boundaries = {0, *ends}
+        cuts = {0, 1, header_end // 2, header_end - 1, header_end, header_end + 1}
+        cuts.update(end - 1 for end in ends[1:])  # mid-checksum: last record byte
+        cuts.update(int(c) for c in rng.integers(0, len(data) + 1, size=48))
+        for cut in sorted(cuts):
+            trial = tmp_path / f"cut{cut}"
+            shutil.copytree(base, trial)
+            fmt.shard_wal_path(trial, 0).write_bytes(data[:cut])
+            surviving = sum(1 for end in ends[1:] if end <= cut)
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                store = AnswerStore(trial)
+            torn = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+            if cut in clean_boundaries:
+                assert not torn, f"clean cut at byte {cut} warned: {torn[0].message}"
+            else:
+                assert torn, f"torn cut at byte {cut} loaded without a warning"
+            assert store.n_votes == surviving, f"cut at byte {cut}"
+            for code in range(surviving):
+                assert store.lookup(10 + code) == bool(code % 2)
+            store.close()
+            shutil.rmtree(trial)
+
+    def test_post_recovery_append_survives_reload_at_any_cut(self, tmp_path):
+        rng = np.random.default_rng(0xBEEF)
+        base = tmp_path / "base"
+        self._seed_store(base)
+        data, header_end, ends = self._wal_layout(base)
+        cuts = {1, header_end - 1, len(data) - 2}
+        cuts.update(int(c) for c in rng.integers(1, len(data), size=8))
+        for cut in sorted(cuts):
+            trial = tmp_path / f"cut{cut}"
+            shutil.copytree(base, trial)
+            fmt.shard_wal_path(trial, 0).write_bytes(data[:cut])
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                store = AnswerStore(trial)
+            surviving = store.n_votes
+            store.add_vote(99, True)  # takes the writer lock: tail repaired
+            store.close()
+            again = AnswerStore(trial)  # must load cleanly: tail was repaired
+            assert again.n_votes == surviving + 1
+            assert again.lookup(99) is True
+            again.close()
+            shutil.rmtree(trial)
+
+    def test_random_byte_flip_in_records_recovers_a_prefix(self, tmp_path):
+        # Replay trusts nothing after the first checksum failure, wherever
+        # the flipped byte lands (length field, payload, or the CRC itself).
+        rng = np.random.default_rng(0xF11B)
+        base = tmp_path / "base"
+        self._seed_store(base)
+        data, header_end, ends = self._wal_layout(base)
+        for trial_no in range(12):
+            pos = int(rng.integers(header_end, len(data)))
+            trial = tmp_path / f"flip{trial_no}"
+            shutil.copytree(base, trial)
+            damaged = bytearray(data)
+            damaged[pos] ^= 0xFF
+            fmt.shard_wal_path(trial, 0).write_bytes(bytes(damaged))
+            flipped_record = next(i for i, end in enumerate(ends[1:]) if pos < end)
+            with pytest.warns(RuntimeWarning):
+                store = AnswerStore(trial)
+            assert store.n_votes == flipped_record, f"flip at byte {pos}"
+            store.close()
+            shutil.rmtree(trial)
+
+
 class TestShardedLayout:
     def test_v2_layout_on_disk(self, tmp_path):
         directory = tmp_path / "s"
@@ -625,6 +728,11 @@ def _disjoint_writer(directory, parity, n_votes, barrier, failures):
         store.close()
     except BaseException as error:  # pragma: no cover - failure reporting
         failures.put(repr(error))
+
+
+def _migrate_worker(directory, results):
+    """Worker: run the migrate subcommand and report its exit code."""
+    results.put(store_main(["migrate", "--dir", str(directory), "--shards", "2"]))
 
 
 def _lock_holder(directory, code, acquired, release, failures):
@@ -1028,6 +1136,90 @@ class TestStoreCli:
         # Re-running reports idempotence.
         assert store_main(["migrate", "--dir", str(directory)]) == 0
         assert "already" in capsys.readouterr().out
+
+    def test_migrate_already_v2_reports_nothing_to_do(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        self._populate(directory)  # creates a v2 store
+        assert store_main(["migrate", "--dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "already" in out and "nothing to migrate" in out
+
+    def test_migrate_shard_count_conflict_is_a_cli_error(self, tmp_path, capsys):
+        # The manifest pins the layout; asking migrate for a different count
+        # must fail loudly, not silently reshard or silently ignore the flag.
+        directory = str(tmp_path / "s")
+        self._populate(directory)
+        rc = store_main(
+            ["migrate", "--dir", directory, "--shards", str(DEFAULT_N_SHARDS + 1)]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_migrate_without_manifest_or_v1_creates_fresh(self, tmp_path, capsys):
+        directory = tmp_path / "never-existed"
+        assert store_main(["migrate", "--dir", str(directory), "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fresh" in out and "no v1 store was present" in out
+        assert fmt.manifest_path(directory).exists()
+        with AnswerStore(directory) as store:
+            assert store.n_shards == 2
+
+    def test_migrate_corrupt_v1_fails_without_committing(self, tmp_path, capsys):
+        directory = tmp_path / "s"
+        directory.mkdir()
+        (directory / "wal.jsonl").write_text("garbage header\n")
+        assert store_main(["migrate", "--dir", str(directory)]) == 1
+        assert "error:" in capsys.readouterr().err
+        # The manifest is the commit point; a failed migration must not leave
+        # one behind (the v1 files stay authoritative for a retry).
+        assert not fmt.manifest_path(directory).exists()
+        assert (directory / "wal.jsonl").exists()
+
+    def test_migrate_with_stale_lock_file_proceeds(self, tmp_path, capsys):
+        # A leftover .migrate.lock from a crashed migration holds no flock;
+        # the next migrate must take it, finish, and clean it up.
+        directory = tmp_path / "s"
+        directory.mkdir()
+        header = json.dumps({"format": 1, "n_records": 9})
+        (directory / "wal.jsonl").write_text(
+            header + "\n" + json.dumps([1, 3, 1]) + "\n"
+        )
+        (directory / fmt.MIGRATE_LOCK_NAME).touch()
+        assert store_main(["migrate", "--dir", str(directory)]) == 0
+        assert "migrated" in capsys.readouterr().out
+        assert not (directory / fmt.MIGRATE_LOCK_NAME).exists()
+        with AnswerStore(directory) as store:
+            assert store.lookup(3) is True
+
+    def test_concurrent_migrations_serialize_on_the_lock(self, tmp_path):
+        # Two processes race `migrate` on one v1 store: flock on
+        # .migrate.lock serialises them, the winner migrates, the loser
+        # finds the manifest and reports idempotence — both exit 0 and no
+        # vote is lost or double-counted.
+        pytest.importorskip("fcntl")
+        directory = tmp_path / "s"
+        directory.mkdir()
+        header = json.dumps({"format": 1, "n_records": 9})
+        records = [json.dumps([k + 1, k, 1]) for k in range(5)]
+        (directory / "wal.jsonl").write_text(
+            "".join(line + "\n" for line in [header] + records)
+        )
+        ctx = multiprocessing.get_context("fork")
+        results = ctx.Queue()
+        workers = [
+            ctx.Process(target=_migrate_worker, args=(directory, results))
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=MP_GUARD)
+        assert sorted(results.get(timeout=5.0) for _ in workers) == [0, 0]
+        with AnswerStore(directory) as store:
+            assert store.n_shards == 2
+            assert store.n_votes == 5
+            for k in range(5):
+                assert store.lookup(k) is True
 
     def test_no_command_prints_help(self, capsys):
         assert store_main([]) == 2
