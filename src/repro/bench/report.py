@@ -37,14 +37,20 @@ def _environment() -> Dict[str, str]:
     }
 
 
+def _drop_none(mapping: Dict[str, Any]) -> Dict[str, Any]:
+    """Strip ``None``-valued columns: a metric a cell does not have is
+    omitted from the artifact, never emitted as ``null``."""
+    return {key: value for key, value in mapping.items() if value is not None}
+
+
 def outcome_row(outcome: BenchOutcome) -> Dict[str, Any]:
     """Flatten one outcome into an artifact cell row."""
     return {
         "algorithm": outcome.cell.algorithm,
         "params": json_safe(dict(outcome.cell.params)),
         "seed": int(outcome.cell.seed),
-        "metrics": json_safe(outcome.metrics),
-        "measured": json_safe(outcome.measured),
+        "metrics": _drop_none(json_safe(outcome.metrics)),
+        "measured": _drop_none(json_safe(outcome.measured)),
         "wall_seconds": round(outcome.wall_seconds, 6),
         "peak_traced_mb": round(outcome.peak_traced_mb, 3),
         "rss_max_mb": round(outcome.rss_max_mb, 3),

@@ -133,33 +133,61 @@ def plan_cells(
 
 # --- built-in specs ----------------------------------------------------------
 
-#: n values for the scaling suite.  The lazy backend carries the large-n
-#: cells; the dense backend stops at the dense memoisation limit so the
-#: artifact records both regimes without ever materialising O(n^2) state.
+#: n values for the scaling suite.  The lazy backend carries the mid-range
+#: cells; the dense backend stops at the dense memoisation limit; the disk
+#: backend overlaps lazy at its large ns (so bit-identity across backends is
+#: visible in the artifact) and alone carries the million-point cells.
 _SCALING_NS_FULL = [1000, 5000, 20000, 50000]
 _SCALING_NS_QUICK = [500, 2000]
 _DENSE_NS_FULL = [1000, 5000]
 _DENSE_NS_QUICK = [500]
+_DISK_NS_FULL = [20000, 50000]
+_DISK_NS_QUICK = [2000]
+#: Million-point cells: disk backend only, and only for the workloads whose
+#: access patterns revisit state (Count-Max's constant-anchor batches, greedy
+#: k-center's repeated center rows).  An exact NN scan touches every row
+#: exactly once, so a million-point scan would measure nothing but raw
+#: evaluation throughput.
+_DISK_NS_XL = [1_000_000]
 
 
-def _scaling_grid(ns_lazy: Sequence[int], ns_dense: Sequence[int]) -> Dict[str, list]:
-    # A plain cartesian n x backend grid; _ScalingSpec.cells drops the dense
-    # cells beyond the dense n limit after expansion.
+def _scaling_grid(
+    ns_lazy: Sequence[int],
+    ns_dense: Sequence[int],
+    ns_disk: Sequence[int],
+) -> Dict[str, list]:
+    # A plain cartesian n x backend grid; _ScalingSpec.cells drops the
+    # out-of-range (backend, n) combinations after expansion.
     return {
-        "n": sorted(set(list(ns_lazy) + list(ns_dense))),
-        "backend": ["lazy", "dense"],
+        "n": sorted(set(list(ns_lazy) + list(ns_dense) + list(ns_disk))),
+        "backend": ["lazy", "dense", "disk"],
     }
 
 
 class _ScalingSpec(BenchSpec):
-    """Scaling spec that drops dense cells beyond the dense-backend limit."""
+    """Scaling spec that limits each backend to its n range.
+
+    Lazy cells span the whole grid; dense cells stop at the memoisation
+    limit; disk cells cover the large-n overlap plus (when ``xl_disk``) the
+    million-point tier.
+    """
+
+    #: Spec names whose full grid includes the million-point disk cells.
+    XL_DISK_SPECS = frozenset({"count_max", "greedy_kcenter"})
 
     def cells(self, quick: bool, seeds: Sequence[int]) -> List[BenchCell]:
-        ns_dense = set(_DENSE_NS_QUICK if quick else _DENSE_NS_FULL)
+        ns_disk = set(_DISK_NS_QUICK if quick else _DISK_NS_FULL)
+        if not quick and self.name in self.XL_DISK_SPECS:
+            ns_disk |= set(_DISK_NS_XL)
+        keep = {
+            "lazy": set(_SCALING_NS_QUICK if quick else _SCALING_NS_FULL),
+            "dense": set(_DENSE_NS_QUICK if quick else _DENSE_NS_FULL),
+            "disk": ns_disk,
+        }
         return [
             cell
             for cell in super().cells(quick, seeds)
-            if cell.params["backend"] == "lazy" or cell.params["n"] in ns_dense
+            if cell.params["n"] in keep[cell.params["backend"]]
         ]
 
 
@@ -169,8 +197,8 @@ register(
         suite="scaling",
         runner=workloads.run_count_max,
         description="Count-Max over a record sample via quadruplet queries",
-        grid=_scaling_grid(_SCALING_NS_FULL, _DENSE_NS_FULL),
-        quick_grid=_scaling_grid(_SCALING_NS_QUICK, _DENSE_NS_QUICK),
+        grid=_scaling_grid(_SCALING_NS_FULL, _DENSE_NS_FULL, _DISK_NS_FULL + _DISK_NS_XL),
+        quick_grid=_scaling_grid(_SCALING_NS_QUICK, _DENSE_NS_QUICK, _DISK_NS_QUICK),
     )
 )
 register(
@@ -179,8 +207,8 @@ register(
         suite="scaling",
         runner=workloads.run_greedy_kcenter,
         description="Greedy farthest-point k-center plus objective evaluation",
-        grid=_scaling_grid(_SCALING_NS_FULL, _DENSE_NS_FULL),
-        quick_grid=_scaling_grid(_SCALING_NS_QUICK, _DENSE_NS_QUICK),
+        grid=_scaling_grid(_SCALING_NS_FULL, _DENSE_NS_FULL, _DISK_NS_FULL + _DISK_NS_XL),
+        quick_grid=_scaling_grid(_SCALING_NS_QUICK, _DENSE_NS_QUICK, _DISK_NS_QUICK),
     )
 )
 register(
@@ -189,8 +217,8 @@ register(
         suite="scaling",
         runner=workloads.run_nn_scan,
         description="Exact nearest-neighbour scans over all records",
-        grid=_scaling_grid(_SCALING_NS_FULL, _DENSE_NS_FULL),
-        quick_grid=_scaling_grid(_SCALING_NS_QUICK, _DENSE_NS_QUICK),
+        grid=_scaling_grid(_SCALING_NS_FULL, _DENSE_NS_FULL, _DISK_NS_FULL),
+        quick_grid=_scaling_grid(_SCALING_NS_QUICK, _DENSE_NS_QUICK, _DISK_NS_QUICK),
     )
 )
 register(

@@ -32,7 +32,7 @@ from __future__ import annotations
 import asyncio
 import tempfile
 import time
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -67,18 +67,29 @@ def make_bench_space(n: int, backend: str, seed: int) -> PointCloudSpace:
 
     ``"dense"`` reproduces the classic :class:`PointCloudSpace` behaviour
     (dense memoisation up to the cache limit, direct evaluation beyond);
-    ``"lazy"`` uses the bounded-memory block backend at its defaults.  The
-    coordinates depend only on *seed*, so both backends see identical ground
-    truth.
+    ``"lazy"`` uses the bounded-memory block backend at its defaults;
+    ``"disk"`` adds the memory-mapped spill file, so evicted blocks and
+    computed rows reload instead of being recomputed.  The coordinates
+    depend only on *seed*, so every backend sees identical ground truth.
     """
     points = ensure_rng(seed).uniform(0.0, 1.0, size=(n, BENCH_DIMENSION))
     return PointCloudSpace(points, backend=backend)
 
 
 def run_count_max(
-    n: int = 2000, backend: str = "lazy", sample_size: int = 256, seed: int = 0
+    n: int = 2000,
+    backend: str = "lazy",
+    sample_size: Optional[int] = None,
+    seed: int = 0,
 ) -> Dict[str, Any]:
-    """Count-Max over a record sample via a quadruplet "farthest from q" view."""
+    """Count-Max over a record sample via a quadruplet "farthest from q" view.
+
+    ``sample_size`` defaults to 256, stepping up to 1024 at n >= 500,000 so
+    the million-point cells push enough constant-anchor pairs per batch to
+    cross the disk backend's row threshold (the reload path under test).
+    """
+    if sample_size is None:
+        sample_size = 1024 if n >= 500_000 else 256
     space = make_bench_space(n, backend, seed)
     counter = QueryCounter()
     oracle = DistanceQuadrupletOracle(space, counter=counter, cache_answers=False)
@@ -122,14 +133,25 @@ def run_nn_scan(
 
 
 def _cache_metrics(space: PointCloudSpace) -> Dict[str, Any]:
+    """Backend counters for the metrics dict; empty for the dense backend.
+
+    Metrics a backend does not have are *omitted*, never emitted as nulls —
+    dense cells simply have no ``backend_*`` keys in the artifact.
+    """
     stats = space.backend_stats()
     if not stats:
-        return {"backend_cache_bytes": None}
-    return {
+        return {}
+    metrics = {
         "backend_cache_bytes": stats["current_bytes"],
         "backend_cache_hits": stats["hits"],
         "backend_blocks_materialized": stats["materialized_blocks"],
     }
+    if "reloads" in stats:  # disk backend: the reload-not-recompute evidence
+        metrics["backend_spills"] = stats["spills"]
+        metrics["backend_reloads"] = stats["reloads"]
+        metrics["backend_rows_stored"] = stats["rows_stored"]
+        metrics["backend_spill_bytes"] = stats["spill_bytes"]
+    return metrics
 
 
 # --- batched-versus-scalar workloads (BENCH_batch.json) ----------------------

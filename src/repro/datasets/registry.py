@@ -93,6 +93,24 @@ def _load_dblp_large(n_points: int, seed: SeedLike) -> PointCloudSpace:
     )
 
 
+def _load_uniform_xl(n_points: int, seed: SeedLike) -> PointCloudSpace:
+    # Million-point uniform cloud; backend="auto" resolves to the disk-spill
+    # backend above the in-memory lazy limit, so evicted distance blocks
+    # reload from the memory-mapped spill file instead of being recomputed.
+    return make_large_uniform_space(n_points=n_points, dimension=8, seed=seed)
+
+
+def _load_blobs_xl(n_points: int, seed: SeedLike) -> PointCloudSpace:
+    # Million-point embedding-like mixture (the paper's 1.8M-title regime),
+    # auto-resolved to the disk-spill backend at its default size.
+    return make_large_blobs_space(
+        n_points=n_points,
+        n_clusters=min(500, max(1, n_points // 2000)),
+        dimension=16,
+        seed=seed,
+    )
+
+
 _LOADERS: Dict[str, Callable[[int, SeedLike], PointCloudSpace]] = {
     "cities": _load_cities,
     "caltech": _load_caltech,
@@ -102,13 +120,18 @@ _LOADERS: Dict[str, Callable[[int, SeedLike], PointCloudSpace]] = {
     "uniform": _load_uniform,
     "uniform-large": _load_uniform_large,
     "dblp-large": _load_dblp_large,
+    "uniform-xl": _load_uniform_xl,
+    "blobs-xl": _load_blobs_xl,
 }
 
 #: Default sizes used when the caller does not override ``n_points``.  The
 #: paper's sizes (36K cities, 1.8M dblp titles) are scaled down so every
 #: experiment runs on a laptop; query *counts* still follow the same curves.
 #: The ``*-large`` entries keep paper-scale sizes — they load on the lazy
-#: metric backend, so generating them is O(n * d) memory, not O(n^2).
+#: metric backend, so generating them is O(n * d) memory, not O(n^2).  The
+#: ``*-xl`` entries are the million-point tier: ``backend="auto"`` resolves
+#: them to the disk-spill backend, keeping resident memory bounded while
+#: evicted distance state reloads from memory-mapped spill files.
 DEFAULT_SIZES: Dict[str, int] = {
     "cities": 800,
     "caltech": 400,
@@ -118,6 +141,8 @@ DEFAULT_SIZES: Dict[str, int] = {
     "uniform": 500,
     "uniform-large": 50_000,
     "dblp-large": 20_000,
+    "uniform-xl": 1_000_000,
+    "blobs-xl": 1_000_000,
 }
 
 DATASET_NAMES = tuple(sorted(_LOADERS))

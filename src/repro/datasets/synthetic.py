@@ -7,7 +7,12 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
-from repro.metric.space import PointCloudSpace, ValueSpace
+from repro.metric.space import (
+    DEFAULT_CACHE_LIMIT,
+    DEFAULT_DISK_LIMIT,
+    PointCloudSpace,
+    ValueSpace,
+)
 from repro.rng import SeedLike, ensure_rng
 
 
@@ -100,21 +105,43 @@ def make_uniform_space(
     )
 
 
+def _large_backend(n_points: int, backend: str) -> str:
+    """Resolve the backend for the large-n generators.
+
+    ``"auto"`` picks the in-memory lazy backend up to the disk limit and the
+    disk-spill backend beyond it.  An explicit ``"dense"`` above the dense
+    memoisation limit is refused outright: these generators exist precisely
+    so large collections never materialise O(n^2) state.
+    """
+    if backend == "auto":
+        return "lazy" if n_points <= DEFAULT_DISK_LIMIT else "disk"
+    if backend == "dense" and n_points > DEFAULT_CACHE_LIMIT:
+        raise InvalidParameterError(
+            f"backend='dense' would materialise O(n^2) distance state at "
+            f"n_points={n_points}; the large-n generators refuse dense above "
+            f"{DEFAULT_CACHE_LIMIT} points (use 'lazy' or 'disk')"
+        )
+    return backend
+
+
 def make_large_uniform_space(
     n_points: int,
     dimension: int = 8,
     low: float = 0.0,
     high: float = 1.0,
     seed: SeedLike = None,
+    backend: str = "auto",
     block_size: Optional[int] = None,
     max_cached_blocks: Optional[int] = None,
 ) -> PointCloudSpace:
-    """Large-n uniform cloud on the lazy backend: O(n * d) memory, never O(n^2).
+    """Large-n uniform cloud on a bounded backend: O(n * d) memory, never O(n^2).
 
-    A thin wrapper over :func:`make_uniform_space` that forces
-    ``backend="lazy"``: the returned space never allocates a dense distance
-    matrix regardless of *n_points*, so peak extra memory while querying is
-    bounded by the block cache.
+    A thin wrapper over :func:`make_uniform_space` that resolves *backend*
+    through :func:`_large_backend`: ``"auto"`` serves up to the disk limit
+    from the in-memory lazy backend and larger spaces from the disk-spill
+    backend, and an explicit ``"dense"`` beyond the memoisation limit is
+    refused.  Peak extra memory while querying is bounded by the block cache
+    either way.
     """
     return make_uniform_space(
         n_points,
@@ -122,7 +149,7 @@ def make_large_uniform_space(
         low=low,
         high=high,
         seed=seed,
-        backend="lazy",
+        backend=_large_backend(n_points, backend),
         block_size=block_size,
         max_cached_blocks=max_cached_blocks,
     )
@@ -135,16 +162,18 @@ def make_large_blobs_space(
     cluster_std: float = 1.0,
     center_spread: float = 12.0,
     seed: SeedLike = None,
+    backend: str = "auto",
     block_size: Optional[int] = None,
     max_cached_blocks: Optional[int] = None,
 ) -> PointCloudSpace:
-    """Large-n Gaussian mixture on the lazy backend (embedding-like workloads).
+    """Large-n Gaussian mixture on a bounded backend (embedding-like workloads).
 
     A thin wrapper over :func:`make_blobs_space` with embedding-ish defaults
-    and ``backend="lazy"`` forced: ground-truth labels are kept (evaluation
-    code uses them) but no dense distance matrix is ever built, matching the
-    paper's large collections (36K cities, 1.8M titles) where materialising
-    O(n^2) distances is off the table.
+    and *backend* resolved through :func:`_large_backend` (lazy up to the
+    disk limit, disk-spill beyond, dense refused): ground-truth labels are
+    kept (evaluation code uses them) but no dense distance matrix is ever
+    built, matching the paper's large collections (36K cities, 1.8M titles)
+    where materialising O(n^2) distances is off the table.
     """
     return make_blobs_space(
         n_points,
@@ -153,7 +182,7 @@ def make_large_blobs_space(
         cluster_std=cluster_std,
         center_spread=center_spread,
         seed=seed,
-        backend="lazy",
+        backend=_large_backend(n_points, backend),
         block_size=block_size,
         max_cached_blocks=max_cached_blocks,
     )

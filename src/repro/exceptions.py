@@ -45,6 +45,25 @@ class ServiceClosedError(ReproError, RuntimeError):
     """
 
 
+class StorageError(ReproError, RuntimeError):
+    """A shared-storage-layer file cannot honour a request.
+
+    Raised by :mod:`repro.storage` — the block/framing layer under both the
+    answer warehouse and the disk-spill metric backend — for concurrent
+    writers on one block file and for requests outside a file's geometry.
+    """
+
+
+class StorageCorruptionError(StorageError):
+    """A shared-storage-layer file is damaged beyond safe recovery.
+
+    A torn *trailing* slot or record is expected after a crash and is
+    recoverable (the valid prefix survives); this error is reserved for
+    damage that cannot be a torn append — a checksum failure inside the
+    valid region or an unreadable file header.
+    """
+
+
 class StoreError(ReproError, RuntimeError):
     """The persistent answer store cannot honour a request.
 

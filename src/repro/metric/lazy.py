@@ -21,23 +21,36 @@ Access patterns map onto three strategies:
   computes the row directly in candidate chunks; rows are transient by
   nature (greedy passes never revisit one), so they bypass the block cache.
 
+:class:`DiskBlockBackend` extends the same machinery past what an
+in-memory cache can amortise: evicted blocks and computed rows *spill* to
+memory-mapped :class:`~repro.storage.blockfile.BlockStorage` files and are
+**reloaded instead of recomputed** on re-access, which is what makes
+n = 1,000,000 workloads tractable at flat RSS (the ``scaling`` bench tier
+records the reload counters).
+
 Results are bit-identical to the dense backend for the broadcastable
-distance functions: blocks, chunks and scalars all reduce over the same
-contiguous ``axis=-1`` slices, and every built-in distance is symmetric
-under argument swap, so canonicalising a pair to its upper-triangle block
-cannot change the value.  :mod:`tests.test_metric_lazy` asserts the exact
-equality.
+distance functions: blocks, chunks, rows and scalars all reduce over the
+same contiguous ``axis=-1`` slices, and every built-in distance is
+symmetric under argument swap, so canonicalising a pair to its
+upper-triangle block — or serving it from a stored row — cannot change
+the value.  :mod:`tests.test_metric_lazy` and :mod:`tests.test_metric_disk`
+assert the exact equality.
 """
 
 from __future__ import annotations
 
+import shutil
+import tempfile
+import weakref
 from collections import OrderedDict
+from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.metric.distances import cross_distances
+from repro.storage import BlockStorage
 
 #: Default side length of a materialised distance block.
 DEFAULT_BLOCK_SIZE = 1024
@@ -60,6 +73,10 @@ class BlockLRUCache:
     triangle); values are dense float blocks.  The cache never holds more
     than ``max_blocks`` blocks, so its memory is bounded by
     :attr:`capacity_bytes` independent of the number of records.
+
+    An optional :attr:`on_evict` callback observes every eviction with the
+    evicted ``(key, block)`` — the hook the disk-spill backend uses to
+    write blocks out instead of forgetting them.
     """
 
     def __init__(
@@ -79,6 +96,8 @@ class BlockLRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Called as ``on_evict(key, block)`` for every evicted block.
+        self.on_evict: Optional[Callable[[Tuple[int, int], np.ndarray], None]] = None
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -101,8 +120,10 @@ class BlockLRUCache:
         self._blocks[key] = block
         self._blocks.move_to_end(key)
         while len(self._blocks) > self.max_blocks:
-            self._blocks.popitem(last=False)
+            evicted_key, evicted = self._blocks.popitem(last=False)
             self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted_key, evicted)
 
     def clear(self) -> None:
         """Drop every cached block (statistics are kept)."""
@@ -188,6 +209,17 @@ class LazyBlockBackend:
         size = self.cache.block_size
         return (self.n_points + size - 1) // size
 
+    def _get_block(self, key: Tuple[int, int]) -> Optional[np.ndarray]:
+        """Look up an already-materialised block (cache only here).
+
+        The single seam between the in-memory and the disk-spill backends:
+        :class:`DiskBlockBackend` overrides this to reload spilled blocks
+        from its block file on a cache miss, so every serving path — pair
+        batches and scalar lookups alike — reloads instead of recomputing
+        without knowing where the block came from.
+        """
+        return self.cache.get(key)
+
     def _fill_block(self, key: Tuple[int, int]) -> np.ndarray:
         """Materialise and cache the block at *key*; returns the block."""
         size = self.cache.block_size
@@ -245,7 +277,7 @@ class LazyBlockBackend:
         for start, end in zip(starts, ends):
             group = order[start:end]
             key = divmod(int(ids_sorted[start]), self.n_blocks)
-            block = self.cache.get(key)
+            block = self._get_block(key)
             if block is None and (end - start) >= self.materialize_threshold:
                 block = self._fill_block(key)
             if block is None:
@@ -279,7 +311,7 @@ class LazyBlockBackend:
         size = self.cache.block_size
         a, b = (i, j) if i // size <= j // size else (j, i)
         key = (a // size, b // size)
-        block = self.cache.get(key)
+        block = self._get_block(key)
         if block is not None:
             return float(block[a - key[0] * size, b - key[1] * size])
         return float(self.distance_fn(self.points[a], self.points[b]))
@@ -290,3 +322,250 @@ class LazyBlockBackend:
         stats["direct_pairs"] = self.direct_pairs
         stats["materialized_blocks"] = self.materialized_blocks
         return stats
+
+
+class DiskBlockBackend(LazyBlockBackend):
+    """Block-wise evaluation that spills to disk and reloads instead of recomputing.
+
+    The in-memory lazy backend forgets every block the LRU cache evicts, so
+    workloads whose working set exceeds the cache *recompute* distances —
+    cheap at n = 50,000, prohibitive at n = 1,000,000.  This backend keeps
+    the same access strategies and the same bit-identical values but backs
+    the cache with two :class:`~repro.storage.blockfile.BlockStorage` spill
+    files (fixed-size mmap slots, per-slot CRC, LM-DiskANN's node-block
+    layout):
+
+    * ``blocks.rblk`` — square distance blocks, written once on their first
+      eviction (block contents never change, so re-evictions are free) and
+      reloaded through :meth:`_get_block` on any later miss;
+    * ``rows.rblk`` — full distance rows (one slot holds ``n`` float64s).
+      A row is stored when a full-sweep :meth:`distances_from` computes it,
+      or when the *cumulative* constant-record ``pair_distances`` traffic
+      pinned on a single record reaches ``row_threshold`` pairs (the
+      Count-Max access pattern: every tournament round re-asks the query
+      record in sample-sized batches).  Every later row-shaped or
+      constant-record request is served from the stored row.
+
+    ``reloads`` counts every serve from a spill file — the
+    reload-not-recompute evidence the scaling bench records.  Spill files
+    live in *spill_dir* (a private temp directory by default, removed when
+    the backend is garbage-collected).
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        distance_fn: Callable,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        max_blocks: int = DEFAULT_MAX_BLOCKS,
+        pair_chunk: int = DEFAULT_PAIR_CHUNK,
+        materialize_threshold: Optional[int] = None,
+        spill_dir: Optional[Path | str] = None,
+        row_threshold: Optional[int] = None,
+    ):
+        super().__init__(
+            points,
+            distance_fn,
+            block_size=block_size,
+            max_blocks=max_blocks,
+            pair_chunk=pair_chunk,
+            materialize_threshold=materialize_threshold,
+        )
+        if spill_dir is None:
+            spill_dir = tempfile.mkdtemp(prefix="repro-metric-spill-")
+            # Owned temp dir: removed at GC.  The finalizer must not
+            # reference self, or it would pin the backend alive forever.
+            self._spill_finalizer = weakref.finalize(
+                self, shutil.rmtree, spill_dir, ignore_errors=True
+            )
+        else:
+            Path(spill_dir).mkdir(parents=True, exist_ok=True)
+            self._spill_finalizer = None
+        self.spill_dir = Path(spill_dir)
+        size = self.cache.block_size
+        self._block_file = BlockStorage.create(
+            self.spill_dir / "blocks.rblk", slot_size=size * size * 8
+        )
+        self._row_file: Optional[BlockStorage] = None  # one slot = n float64s
+        self._block_slot: Dict[Tuple[int, int], int] = {}
+        self._row_slot: Dict[int, int] = {}
+        if row_threshold is None:
+            # Storing a row costs n evaluations; amortise it over at least
+            # n/4 served pairs (<= 4 evaluations per pair before reuse).
+            row_threshold = max(1, self.n_points // 4)
+        self.row_threshold = max(1, int(row_threshold))
+        self._anchor_demand: Dict[int, int] = {}
+        self.spills = 0
+        self.reloads = 0
+        self.rows_stored = 0
+        self.cache.on_evict = self._spill_block
+
+    # -- square-block spill path ----------------------------------------------
+
+    def _block_shape(self, key: Tuple[int, int]) -> Tuple[int, int]:
+        size = self.cache.block_size
+        n = self.n_points
+        bi, bj = key
+        return (min(size, n - bi * size), min(size, n - bj * size))
+
+    def _spill_block(self, key: Tuple[int, int], block: np.ndarray) -> None:
+        """Eviction hook: write the block out unless it is already on disk.
+
+        Blocks are immutable once materialised, so a block evicted, reloaded
+        and evicted again never needs a second write.
+        """
+        if key in self._block_slot:
+            return
+        payload = np.ascontiguousarray(block, dtype=float).tobytes()
+        self._block_slot[key] = self._block_file.append(payload)
+        self.spills += 1
+
+    def _get_block(self, key: Tuple[int, int]) -> Optional[np.ndarray]:
+        block = self.cache.get(key)
+        if block is not None:
+            return block
+        slot = self._block_slot.get(key)
+        if slot is None:
+            return None
+        payload = self._block_file.read_slot(slot)
+        if payload is None:  # pragma: no cover - slots are written before mapped
+            return None
+        block = np.frombuffer(payload, dtype=float).reshape(self._block_shape(key))
+        self.reloads += 1
+        # Re-admit to the cache; the eviction this may trigger is a no-op
+        # write (the evicted block is already on disk).
+        self.cache.put(key, block)
+        return block
+
+    # -- row spill path --------------------------------------------------------
+
+    def _load_row(self, i: int) -> Optional[np.ndarray]:
+        """The stored full distance row of record *i*, or ``None``."""
+        slot = self._row_slot.get(i)
+        if slot is None:
+            return None
+        payload = self._row_file.read_slot(slot)
+        if payload is None:  # pragma: no cover - slots are written before mapped
+            return None
+        self.reloads += 1
+        return np.frombuffer(payload, dtype=float)
+
+    def _store_row(self, i: int, row: np.ndarray) -> None:
+        if i in self._row_slot:
+            return
+        if self._row_file is None:
+            self._row_file = BlockStorage.create(
+                self.spill_dir / "rows.rblk", slot_size=self.n_points * 8
+            )
+        payload = np.ascontiguousarray(row, dtype=float).tobytes()
+        self._row_slot[i] = self._row_file.append(payload)
+        self.rows_stored += 1
+
+    def distances_from(self, i: int, candidates: np.ndarray) -> np.ndarray:
+        """Row-shaped distances, served from (and feeding) the row store.
+
+        A stored row answers any candidate subset by fancy indexing — the
+        values are bit-identical because every batchable distance reduces
+        each element over the same contiguous ``axis=-1`` slice regardless
+        of how requests are chunked.  A full sweep over a fresh row computes
+        it once (the inherited chunked path) and stores it.
+        """
+        i = int(i)
+        row = self._load_row(i)
+        if row is not None:
+            return row[candidates]
+        out = super().distances_from(i, candidates)
+        if len(candidates) == self.n_points and np.array_equal(
+            candidates, np.arange(self.n_points)
+        ):
+            self._store_row(i, out)
+        return out
+
+    def pair_distances(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Paired distances, served from stored rows wherever one applies.
+
+        Two row fast paths, in order:
+
+        * **constant-record batches** — when every pair shares one record
+          (the quadruplet oracle's "compare everything against the query"
+          shape), the batch is a masked distance row: serve it from the
+          stored row, materialising the row once the record's cumulative
+          constant-batch demand reaches ``row_threshold`` pairs (enough to
+          amortise the n evaluations the row costs);
+        * **stored-anchor pairs** — any remaining pair whose left or right
+          record already has a stored row (k-center objective evaluation:
+          every point against its assigned center, whose row the greedy
+          traversal computed) is answered from that row.
+
+        Whatever is left falls through to the inherited block/chunk strategy
+        backed by the spill file.  Rows are bit-identical to direct
+        evaluation (same contiguous ``axis=-1`` reduction), so the split
+        never changes a value.
+        """
+        m = len(i)
+        if m:
+            for const, other in ((i, j), (j, i)):
+                anchor = int(const[0])
+                if not (const == anchor).all():
+                    continue
+                row = self._load_row(anchor)
+                if row is None:
+                    # Demand is cumulative across batches: Count-Max re-asks
+                    # the same anchor in ~sample_size/2-pair rounds for the
+                    # whole tournament, so no single batch reaches the
+                    # threshold but the anchor's total traffic dwarfs it.
+                    demand = self._anchor_demand.get(anchor, 0) + m
+                    if demand >= self.row_threshold:
+                        row = super().distances_from(
+                            anchor, np.arange(self.n_points)
+                        )
+                        self._store_row(anchor, row)
+                        self._anchor_demand.pop(anchor, None)
+                    else:
+                        self._anchor_demand[anchor] = demand
+                if row is not None:
+                    return np.asarray(row[other], dtype=float)
+                break  # constant but demand too low to justify the row yet
+        if m and self._row_slot:
+            stored = np.fromiter(self._row_slot, dtype=np.int64)
+            out = np.empty(m, dtype=float)
+            unresolved = np.ones(m, dtype=bool)
+            for const, other in ((i, j), (j, i)):
+                mask = unresolved & np.isin(const, stored)
+                if not mask.any():
+                    continue
+                for anchor in np.unique(const[mask]):
+                    row = self._load_row(int(anchor))
+                    sel = mask & (const == anchor)
+                    out[sel] = row[other[sel]]
+                unresolved &= ~mask
+            if not unresolved.all():
+                if unresolved.any():
+                    out[unresolved] = super().pair_distances(
+                        i[unresolved], j[unresolved]
+                    )
+                return out
+        return super().pair_distances(i, j)
+
+    # -- lifecycle / observability --------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Inherited cache counters plus the spill/reload evidence."""
+        stats = super().stats()
+        stats["spills"] = self.spills
+        stats["reloads"] = self.reloads
+        stats["rows_stored"] = self.rows_stored
+        stats["spill_bytes"] = self._block_file.size_bytes + (
+            0 if self._row_file is None else self._row_file.size_bytes
+        )
+        return stats
+
+    def close(self) -> None:
+        """Close the spill files (and delete an owned temp spill directory)."""
+        self.cache.on_evict = None
+        self.cache.clear()
+        self._block_file.close()
+        if self._row_file is not None:
+            self._row_file.close()
+        if self._spill_finalizer is not None:
+            self._spill_finalizer()

@@ -28,7 +28,21 @@ import numpy as np
 
 from repro.exceptions import EmptyInputError, InvalidParameterError
 from repro.metric.distances import DISTANCE_FUNCTIONS, euclidean_distance
-from repro.metric.lazy import DEFAULT_BLOCK_SIZE, DEFAULT_MAX_BLOCKS, LazyBlockBackend
+from repro.metric.lazy import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_MAX_BLOCKS,
+    DiskBlockBackend,
+    LazyBlockBackend,
+)
+
+#: Largest space the dense backend will memoise by default (a full matrix at
+#: this size is ~128 MB; anything larger must go through a bounded backend).
+DEFAULT_CACHE_LIMIT = 4096
+
+#: Largest space served by the purely in-memory lazy backend under
+#: ``backend="auto"``; beyond it the disk-spill backend takes over so evicted
+#: distance blocks and computed rows are reloaded instead of recomputed.
+DEFAULT_DISK_LIMIT = 200_000
 
 #: Distance callables known to broadcast row-wise over ``(m, d)`` inputs
 #: with bit-identical per-row results, enabling the vectorised
@@ -159,14 +173,22 @@ class PointCloudSpace(MetricSpace):
         ``"dense"`` keeps the classic behaviour (optional dense memoisation
         matrix); ``"lazy"`` never allocates O(n^2) state and instead serves
         distances through the block-LRU backend of :mod:`repro.metric.lazy`;
-        ``"auto"`` (the default) picks dense for spaces that fit the dense
-        memoisation budget (``n <= cache_limit`` or an explicit
-        ``cache=True``) and lazy beyond it.
+        ``"disk"`` is the lazy backend plus a memory-mapped spill file —
+        evicted blocks and computed rows reload from disk instead of being
+        recomputed (:class:`~repro.metric.lazy.DiskBlockBackend`); ``"auto"``
+        (the default) picks dense for spaces that fit the dense memoisation
+        budget (``n <= cache_limit`` or an explicit ``cache=True``), lazy up
+        to ``disk_limit``, and disk beyond it.
     block_size, max_cached_blocks:
-        Geometry and capacity of the lazy backend's block cache (ignored by
-        the dense backend).  Peak extra memory of the lazy backend is
-        bounded by ``max_cached_blocks * block_size**2 * 8`` bytes plus one
+        Geometry and capacity of the lazy/disk backends' block cache
+        (ignored by the dense backend).  Peak extra memory of the bounded
+        backends is ``max_cached_blocks * block_size**2 * 8`` bytes plus one
         evaluation chunk.
+    disk_limit:
+        Size above which ``"auto"`` selects the disk-spill backend.
+    spill_dir:
+        Directory for the disk backend's spill files (default: a private
+        temp directory, removed when the backend is garbage-collected).
     """
 
     def __init__(
@@ -175,10 +197,12 @@ class PointCloudSpace(MetricSpace):
         distance_fn: Callable = euclidean_distance,
         labels: Optional[Sequence[int]] = None,
         cache: Optional[bool] = None,
-        cache_limit: int = 4096,
+        cache_limit: int = DEFAULT_CACHE_LIMIT,
         backend: str = "auto",
         block_size: int = DEFAULT_BLOCK_SIZE,
         max_cached_blocks: int = DEFAULT_MAX_BLOCKS,
+        disk_limit: int = DEFAULT_DISK_LIMIT,
+        spill_dir=None,
     ):
         points = np.asarray(points, dtype=float)
         if points.ndim == 1:
@@ -197,26 +221,40 @@ class PointCloudSpace(MetricSpace):
                 "labels must have the same length as points "
                 f"({len(self.labels)} != {len(points)})"
             )
-        if backend not in ("auto", "dense", "lazy"):
+        if backend not in ("auto", "dense", "lazy", "disk"):
             raise InvalidParameterError(
-                f"backend must be 'auto', 'dense' or 'lazy', got {backend!r}"
+                f"backend must be 'auto', 'dense', 'lazy' or 'disk', got {backend!r}"
             )
         if backend == "auto":
-            backend = "dense" if (cache is True or len(points) <= cache_limit) else "lazy"
+            if cache is True or len(points) <= cache_limit:
+                backend = "dense"
+            elif len(points) <= int(disk_limit):
+                backend = "lazy"
+            else:
+                backend = "disk"
         self.backend = backend
         self._cache: Optional[np.ndarray] = None
         self._lazy: Optional[LazyBlockBackend] = None
-        if backend == "lazy":
+        if backend in ("lazy", "disk"):
             # Non-batchable callables (see _BATCHABLE_DISTANCE_FNS) cannot
             # share block/scalar results bit-identically; they fall back to
             # uncached per-pair evaluation, which is equally memory-bounded.
             if id(distance_fn) in _BATCHABLE_DISTANCE_FNS:
-                self._lazy = LazyBlockBackend(
-                    self.points,
-                    distance_fn,
-                    block_size=block_size,
-                    max_blocks=max_cached_blocks,
-                )
+                if backend == "disk":
+                    self._lazy = DiskBlockBackend(
+                        self.points,
+                        distance_fn,
+                        block_size=block_size,
+                        max_blocks=max_cached_blocks,
+                        spill_dir=spill_dir,
+                    )
+                else:
+                    self._lazy = LazyBlockBackend(
+                        self.points,
+                        distance_fn,
+                        block_size=block_size,
+                        max_blocks=max_cached_blocks,
+                    )
         else:
             if cache is None:
                 cache = len(points) <= cache_limit

@@ -126,9 +126,6 @@ class DistanceQuadrupletOracle(BaseQuadrupletOracle):
             *(np.asarray(x, dtype=np.int64).reshape(-1) for x in (a, b, c, d))
         )
         n = len(self.space)
-        if n**4 > np.iinfo(np.int64).max:
-            # Key encoding would overflow int64; keep correctness via the loop.
-            return super().compare_batch(a, b, c, d)
         check_index_arrays(n, a, b, c, d)
         m = len(a)
         out = np.ones(m, dtype=bool)
@@ -143,7 +140,16 @@ class DistanceQuadrupletOracle(BaseQuadrupletOracle):
         L2 = np.where(flipped, rp2, lp2)
         R1 = np.where(flipped, lp1, rp1)
         R2 = np.where(flipped, lp2, rp2)
-        codes = ((L1 * n + L2) * n + R1) * n + R2
+        if n**4 > np.iinfo(np.int64).max:
+            # int64 codes would overflow above n ~ 55,000.  Build the same
+            # canonical keys as exact Python ints (object dtype) instead:
+            # they hash and order identically to the scalar path's
+            # ``_encode_key`` values, and only the key arithmetic degrades —
+            # distance evaluation stays vectorised, which is what lets
+            # million-point spaces keep the batched pair path.
+            codes = ((L1.astype(object) * n + L2) * n + R1) * n + R2
+        else:
+            codes = ((L1 * n + L2) * n + R1) * n + R2
 
         active = np.nonzero(~same)[0]
         if active.size == 0:

@@ -1,0 +1,41 @@
+"""Shared on-disk storage layer under both persistence subsystems.
+
+The answer warehouse (:mod:`repro.store`) and the disk-spill metric backend
+(:mod:`repro.metric.lazy`) need the same byte-level discipline — length
+prefixes, CRC32 checksums, torn-write detection, atomic file replacement —
+and this package is its single home:
+
+* :mod:`repro.storage.framing` — record framing (``u32 len | payload |
+  u32 crc``), the torn-vs-corrupt distinction, atomic whole-file writes.
+  The store's v2 WAL records are framed by these helpers, byte-identically
+  to the files PR 5 wrote.
+* :mod:`repro.storage.blockfile` — :class:`~repro.storage.blockfile.BlockStorage`,
+  a fixed-size-slot mmap block file with a versioned header, per-slot CRCs
+  and an exclusive writer lock.  The metric layer spills evicted distance
+  blocks and computed distance rows into these files and reloads them
+  instead of recomputing.
+
+Errors surface as :class:`~repro.exceptions.StorageError` /
+:class:`~repro.exceptions.StorageCorruptionError`; the store layer keeps
+raising its own :class:`~repro.exceptions.StoreError` family on top.
+"""
+
+from repro.storage.blockfile import BLOCKFILE_FORMAT_VERSION, HEADER_SIZE, BlockStorage
+from repro.storage.framing import (
+    RECORD_OVERHEAD,
+    TruncatedRecord,
+    decode_record_at,
+    encode_record,
+    write_file_atomic,
+)
+
+__all__ = [
+    "BLOCKFILE_FORMAT_VERSION",
+    "HEADER_SIZE",
+    "BlockStorage",
+    "RECORD_OVERHEAD",
+    "TruncatedRecord",
+    "decode_record_at",
+    "encode_record",
+    "write_file_atomic",
+]

@@ -1,0 +1,85 @@
+"""Length-prefixed, CRC-checked record framing shared by every on-disk file.
+
+This is the byte-level discipline PR 5's answer-warehouse WAL introduced,
+extracted so the disk-spill metric backend (:mod:`repro.storage.blockfile`)
+and the store format (:mod:`repro.store.format`) frame bytes identically::
+
+    u32 payload_length | payload | u32 crc32(payload)     (little-endian)
+
+The framing makes two failure modes distinguishable without guessing at
+payload structure:
+
+* **torn write** — the data ends before a whole record does.  Expected
+  after a crash; :func:`decode_record_at` raises :class:`TruncatedRecord`
+  so callers can truncate to the last good record and carry on.
+* **corruption** — the record is whole but its checksum (or length field)
+  lies.  Never expected; surfaces as a plain ``ValueError`` that callers
+  escalate to their subsystem's corruption error.
+
+:func:`write_file_atomic` carries the matching file-level discipline: a
+file either has its complete new contents or its complete old ones, never
+a mix (temp file + ``fsync`` + ``os.replace``).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Tuple
+
+#: Little-endian u32, used for both the length prefix and the checksum.
+U32 = struct.Struct("<I")
+
+#: Bytes of framing overhead around every payload (length prefix + CRC).
+RECORD_OVERHEAD = 2 * U32.size
+
+
+class TruncatedRecord(ValueError):
+    """The bytes at the given offset end before a whole record does."""
+
+
+def encode_record(payload: bytes) -> bytes:
+    """Frame *payload* as ``u32 length | payload | u32 crc32(payload)``."""
+    return U32.pack(len(payload)) + payload + U32.pack(zlib.crc32(payload))
+
+
+def decode_record_at(data: bytes, offset: int) -> Tuple[bytes, int]:
+    """Unframe the record starting at *offset* in *data*.
+
+    Returns ``(payload, end_offset)``.  Raises :class:`TruncatedRecord`
+    when the data ends mid-record (a torn write: truncate and carry on)
+    and plain ``ValueError`` when the checksum fails (corruption).
+    """
+    total = len(data)
+    if offset + U32.size > total:
+        raise TruncatedRecord("record length field is incomplete")
+    (length,) = U32.unpack_from(data, offset)
+    body = offset + U32.size
+    end = body + length + U32.size
+    if end > total:
+        raise TruncatedRecord("record body is incomplete")
+    payload = data[body : body + length]
+    (crc,) = U32.unpack_from(data, body + length)
+    if zlib.crc32(payload) != crc:
+        raise ValueError("record fails its checksum")
+    return payload, end
+
+
+def write_file_atomic(path: Path, data: bytes | str, encoding: str = "utf-8") -> None:
+    """Replace *path* with *data* atomically (temp file + fsync + replace).
+
+    The temp file lives in the same directory (``os.replace`` must not
+    cross filesystems) and carries the pid so concurrent writers of
+    *different* final contents cannot trample each other's temp files.
+    """
+    path = Path(path)
+    if isinstance(data, str):
+        data = data.encode(encoding)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    with tmp.open("wb") as out:
+        out.write(data)
+        out.flush()
+        os.fsync(out.fileno())
+    os.replace(tmp, path)

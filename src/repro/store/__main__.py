@@ -96,14 +96,16 @@ def _cmd_stats(args) -> int:
     )
     print(
         f"  n_records: {stats['n_records']}, "
-        f"wal: {stats['wal_bytes']} B, snapshot: {stats['snapshot_bytes']} B"
+        f"wal: {stats['wal_bytes']} B, snapshot: {stats['snapshot_bytes']} B, "
+        f"on disk: {stats['disk_bytes']} B"
     )
     if args.shards:
         for row in stats["shards"]:
             print(
                 f"  shard {row['shard']:4d}: {row['n_keys']} key(s), "
                 f"{row['n_votes']} vote(s), last_seq {row['last_seq']}, "
-                f"wal {row['wal_bytes']} B, snapshot {row['snapshot_bytes']} B"
+                f"wal {row['wal_bytes']} B, snapshot {row['snapshot_bytes']} B, "
+                f"on disk {row['disk_bytes']} B"
             )
     return 0
 

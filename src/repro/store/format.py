@@ -19,7 +19,8 @@ Format v2 in one picture::
 
 * ``manifest.json`` and ``snapshot.json`` are UTF-8 JSON.  A shard WAL is
   *hybrid*: one UTF-8 JSON header line (ending at the first ``\\n``), then
-  length-prefixed, CRC-checked **binary records** — see the framing comment
+  length-prefixed, CRC-checked **binary records** framed by the shared
+  storage layer (:mod:`repro.storage.framing`) — see the framing comment
   above :func:`encode_votes`.
 * A **vote** is a canonical signed integer query key
   (:mod:`repro.store.keys`) plus a Yes/No answer; each WAL record carries
@@ -42,13 +43,13 @@ from __future__ import annotations
 import json
 import struct
 import warnings
-import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import StoreCorruptionError, StoreError
+from repro.storage import framing
 
 #: Current on-disk format.  Bump when the layout changes incompatibly.
 STORE_FORMAT_VERSION = 2
@@ -210,9 +211,10 @@ def decode_shard_header(line: str, shard: int, n_shards: int, source: Path) -> N
         )
 
 
-#: Binary WAL record framing (everything little-endian):
+#: Binary WAL record framing: the shared record framing of
+#: :mod:`repro.storage.framing` (``u32 payload_length | payload |
+#: u32 crc32(payload)``, everything little-endian) around a vote payload::
 #:
-#:   u32 payload_length | payload | u32 crc32(payload)
 #:   payload = u64 first_seq | u32 n_votes | n_votes x i64 codes
 #:             | ceil(n_votes / 8) bytes of answers, packed MSB-first
 #:
@@ -222,13 +224,15 @@ def decode_shard_header(line: str, shard: int, n_shards: int, source: Path) -> N
 #: framing plus binary encoding keeps the append path allocation-light
 #: (one ``struct``/NumPy buffer per batch instead of a Python string per
 #: vote), and the length prefix + checksum make torn and corrupt tails
-#: distinguishable without guessing at text structure.
-_WAL_LEN = struct.Struct("<I")
+#: distinguishable without guessing at text structure.  The framing moved
+#: to :mod:`repro.storage` verbatim, so the bytes this module writes are
+#: identical to the pre-extraction v2 files
+#: (``tests/fixtures/store_v2_golden.json`` pins them).
 _WAL_REC = struct.Struct("<QI")
 
-
-class TruncatedWalRecord(ValueError):
-    """The bytes at the given offset end before a whole record does."""
+#: The data ends before a whole record does (a torn write): the shared
+#: framing's exception, re-exported under the store's historical name.
+TruncatedWalRecord = framing.TruncatedRecord
 
 
 def encode_votes(first_seq: int, codes: Sequence[int], answers: Sequence[bool]) -> bytes:
@@ -240,7 +244,7 @@ def encode_votes(first_seq: int, codes: Sequence[int], answers: Sequence[bool]) 
         + codes_arr.tobytes()
         + np.packbits(answers_arr).tobytes()
     )
-    return _WAL_LEN.pack(len(payload)) + payload + _WAL_LEN.pack(zlib.crc32(payload))
+    return framing.encode_record(payload)
 
 
 def decode_votes_at(data: bytes, offset: int) -> Tuple[int, List[int], List[bool], int]:
@@ -251,18 +255,8 @@ def decode_votes_at(data: bytes, offset: int) -> Tuple[int, List[int], List[bool
     write: truncate and carry on) and plain ``ValueError`` when the bytes
     are structurally wrong or fail the checksum (corruption).
     """
-    total = len(data)
-    if offset + _WAL_LEN.size > total:
-        raise TruncatedWalRecord("record length field is incomplete")
-    (length,) = _WAL_LEN.unpack_from(data, offset)
-    body = offset + _WAL_LEN.size
-    end = body + length + _WAL_LEN.size
-    if end > total:
-        raise TruncatedWalRecord("record body is incomplete")
-    payload = data[body : body + length]
-    (crc,) = _WAL_LEN.unpack_from(data, body + length)
-    if zlib.crc32(payload) != crc:
-        raise ValueError("WAL record fails its checksum")
+    payload, end = framing.decode_record_at(data, offset)
+    length = len(payload)
     if length < _WAL_REC.size:
         raise ValueError("WAL record payload shorter than its fixed header")
     first_seq, n = _WAL_REC.unpack_from(payload, 0)

@@ -48,6 +48,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 import numpy as np
 
 from repro.exceptions import StoreCorruptionError, StoreError
+from repro.storage import write_file_atomic
 from repro.store import format as fmt
 
 
@@ -368,12 +369,7 @@ class StoreShard:
         payload = fmt.encode_shard_snapshot(
             self.shard, self.n_shards, self.last_seq, self.votes
         )
-        tmp = self.snapshot_path.with_name(f".{fmt.SNAPSHOT_NAME}.tmp.{os.getpid()}")
-        with tmp.open("w", encoding="utf-8") as out:
-            out.write(payload)
-            out.flush()
-            os.fsync(out.fileno())
-        os.replace(tmp, self.snapshot_path)
+        write_file_atomic(self.snapshot_path, payload)
         header = fmt.encode_shard_header(self.shard, self.n_shards).encode("utf-8")
         handle.truncate(0)
         handle.write(header)
@@ -400,6 +396,27 @@ class StoreShard:
     def n_votes(self) -> int:
         return sum(pair[0] + pair[1] for pair in self.votes.values())
 
+    def disk_bytes(self) -> int:
+        """Total on-disk bytes of this shard's directory — WAL, snapshot and
+        any auxiliary block files a future format revision adds.  Summing the
+        directory (rather than the two known paths) keeps capacity planning
+        honest: every byte the shard owns is counted, including temp files a
+        crash left behind."""
+        directory = fmt.shard_dir(self.directory, self.shard)
+        total = 0
+        try:
+            entries = os.scandir(directory)
+        except FileNotFoundError:
+            return 0
+        with entries:
+            for entry in entries:
+                try:
+                    if entry.is_file(follow_symlinks=False):
+                        total += entry.stat(follow_symlinks=False).st_size
+                except FileNotFoundError:  # pragma: no cover - racing unlink
+                    continue
+        return total
+
     def stats(self) -> Dict[str, Any]:
         """Per-shard statistics row of the warehouse ``stats()`` payload."""
 
@@ -416,6 +433,7 @@ class StoreShard:
             "last_seq": self.last_seq,
             "wal_bytes": _size(self.wal_path),
             "snapshot_bytes": _size(self.snapshot_path),
+            "disk_bytes": self.disk_bytes(),
             "n_appends": self.n_appends,
             "n_fsyncs": self.n_fsyncs,
             "writing": self.writing,

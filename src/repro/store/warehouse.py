@@ -51,6 +51,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None
 
 from repro.exceptions import InvalidParameterError, StoreError
+from repro.storage import write_file_atomic
 from repro.store import format as fmt
 from repro.store.shard import GroupCommitPolicy, StoreShard
 
@@ -282,9 +283,9 @@ class AnswerStore:
 
     def _write_manifest(self) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = self.manifest_path.with_name(f".{fmt.MANIFEST_NAME}.tmp.{os.getpid()}")
-        self._write_file_fsync(tmp, fmt.encode_manifest(self.n_shards, self.n_records) + "\n")
-        os.replace(tmp, self.manifest_path)
+        write_file_atomic(
+            self.manifest_path, fmt.encode_manifest(self.n_shards, self.n_records) + "\n"
+        )
 
     # -- record-count binding -------------------------------------------------
 
@@ -583,5 +584,6 @@ class AnswerStore:
             "n_fsyncs": sum(row["n_fsyncs"] for row in shard_rows),
             "wal_bytes": sum(row["wal_bytes"] for row in shard_rows),
             "snapshot_bytes": sum(row["snapshot_bytes"] for row in shard_rows),
+            "disk_bytes": sum(row["disk_bytes"] for row in shard_rows),
             "shards": shard_rows,
         }

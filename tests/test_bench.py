@@ -88,12 +88,22 @@ class TestPlanning:
         for cell in plan_cells("scaling", quick=True):
             assert cell.params["n"] <= 2000
 
-    def test_full_grid_reaches_50k_on_lazy_only(self):
+    def test_full_grid_tiers_backends_by_scale(self):
         cells = plan_cells("scaling", quick=False)
         large = [c for c in cells if c.params["n"] == 50000]
-        assert large and all(c.params["backend"] == "lazy" for c in large)
+        assert large and {c.params["backend"] for c in large} == {"lazy", "disk"}
         dense_ns = {c.params["n"] for c in cells if c.params["backend"] == "dense"}
         assert max(dense_ns) <= 5000
+        # Million-point cells: disk only, and only for the workloads whose
+        # access patterns revisit spilled state.
+        xl = [c for c in cells if c.params["n"] == 1_000_000]
+        assert xl and all(c.params["backend"] == "disk" for c in xl)
+        assert {c.algorithm for c in xl} == {"count_max", "greedy_kcenter"}
+
+    def test_quick_grid_includes_a_disk_cell(self):
+        cells = plan_cells("scaling", quick=True)
+        disk = [c for c in cells if c.params["backend"] == "disk"]
+        assert disk and all(c.params["n"] == 2000 for c in disk)
 
     def test_unknown_suite_rejected(self):
         with pytest.raises(InvalidParameterError):
@@ -226,7 +236,7 @@ class TestCli:
         assert rc == 0
         payload = read_bench_report(tmp_path / "BENCH_scaling.json")
         assert payload["quick"] is True
-        assert payload["n_cells"] == 9  # 3 algorithms x (2 lazy + 1 dense) cells
+        assert payload["n_cells"] == 12  # 3 algorithms x (2 lazy + 1 dense + 1 disk)
         assert "BENCH_scaling.json" in capsys.readouterr().out
 
     def test_list_shows_cells(self, capsys):

@@ -1,0 +1,289 @@
+"""Tests for the shared storage layer (`repro.storage`).
+
+Three contracts are pinned down here:
+
+* the framing primitives (`length | payload | crc32`) detect every torn
+  and corrupt shape the WAL recovery code distinguishes;
+* `BlockStorage` survives the crash paths the PR 7 WAL fuzz suite covers —
+  truncation at *every* byte offset of the final slot recovers the longest
+  clean slot prefix, a flipped payload byte is caught by the per-slot CRC,
+  and a second concurrent writer fails loudly;
+* the store subsystem's v2 files, now written through `repro.storage`, are
+  byte-identical to the golden fixture captured from the pre-refactor code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StorageCorruptionError, StorageError
+from repro.storage import (
+    BLOCKFILE_FORMAT_VERSION,
+    HEADER_SIZE,
+    RECORD_OVERHEAD,
+    BlockStorage,
+    TruncatedRecord,
+    decode_record_at,
+    encode_record,
+    write_file_atomic,
+)
+
+FIXTURE = Path(__file__).parent / "fixtures" / "store_v2_golden.json"
+
+
+class TestFraming:
+    def test_round_trip(self):
+        for payload in (b"", b"x", b"hello world", bytes(range(256))):
+            data = encode_record(payload)
+            assert len(data) == len(payload) + RECORD_OVERHEAD
+            decoded, end = decode_record_at(data, 0)
+            assert decoded == payload
+            assert end == len(data)
+
+    def test_concatenated_records_decode_in_sequence(self):
+        payloads = [b"a", b"bb", b"ccc"]
+        blob = b"".join(encode_record(p) for p in payloads)
+        offset, seen = 0, []
+        while offset < len(blob):
+            payload, offset = decode_record_at(blob, offset)
+            seen.append(payload)
+        assert seen == payloads
+
+    def test_torn_length_field(self):
+        data = encode_record(b"payload")
+        with pytest.raises(TruncatedRecord, match="length field"):
+            decode_record_at(data[:2], 0)
+
+    def test_torn_body(self):
+        data = encode_record(b"payload")
+        with pytest.raises(TruncatedRecord, match="body is incomplete"):
+            decode_record_at(data[:-1], 0)
+
+    def test_flipped_byte_fails_checksum(self):
+        data = bytearray(encode_record(b"payload"))
+        data[5] ^= 0xFF
+        with pytest.raises(ValueError, match="checksum"):
+            decode_record_at(bytes(data), 0)
+
+    def test_truncated_record_is_a_value_error(self):
+        # Callers that only distinguish "bad record" from "good record" can
+        # catch ValueError for both torn and corrupt shapes.
+        assert issubclass(TruncatedRecord, ValueError)
+
+    def test_write_file_atomic_replaces_and_leaves_no_temp(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        write_file_atomic(target, "new")
+        assert target.read_text() == "new"
+        write_file_atomic(target, b"raw-bytes")
+        assert target.read_bytes() == b"raw-bytes"
+        assert os.listdir(tmp_path) == ["out.json"]
+
+
+class TestBlockStorage:
+    def test_create_append_read_round_trip(self, tmp_path):
+        path = tmp_path / "blocks.rblk"
+        with BlockStorage.create(path, slot_size=32) as storage:
+            assert storage.append(b"first") == 0
+            assert storage.append(b"x" * 32) == 1
+            assert storage.read_slot(0) == b"first"
+            assert storage.read_slot(1) == b"x" * 32
+            assert storage.n_slots == 2
+            assert storage.valid_slot_count() == 2
+
+    def test_reopen_preserves_slots(self, tmp_path):
+        path = tmp_path / "blocks.rblk"
+        with BlockStorage.create(path, slot_size=16) as storage:
+            for k in range(5):
+                storage.append(bytes([k]) * (k + 1))
+        with BlockStorage.open(path) as storage:
+            assert storage.slot_size == 16
+            assert storage.n_slots == 5
+            for k in range(5):
+                assert storage.read_slot(k) == bytes([k]) * (k + 1)
+
+    def test_sparse_write_reads_empty_between(self, tmp_path):
+        with BlockStorage.create(tmp_path / "b.rblk", slot_size=8) as storage:
+            storage.write_slot(3, b"late")
+            assert storage.n_slots == 4
+            assert storage.read_slot(0) is None
+            assert storage.read_slot(2) is None
+            assert storage.read_slot(3) == b"late"
+            assert storage.read_slot(99) is None
+
+    def test_overwrite_slot_in_place(self, tmp_path):
+        with BlockStorage.create(tmp_path / "b.rblk", slot_size=8) as storage:
+            storage.write_slot(0, b"aaaa")
+            storage.write_slot(0, b"bb")
+            assert storage.read_slot(0) == b"bb"
+            assert storage.n_slots == 1
+
+    def test_payload_size_validated(self, tmp_path):
+        with BlockStorage.create(tmp_path / "b.rblk", slot_size=4) as storage:
+            with pytest.raises(StorageError, match="exceeds slot_size"):
+                storage.write_slot(0, b"too-big")
+            with pytest.raises(StorageError, match="non-empty"):
+                storage.write_slot(0, b"")
+            with pytest.raises(StorageError, match="non-negative"):
+                storage.write_slot(-1, b"x")
+
+    def test_numpy_blocks_round_trip_bit_identical(self, tmp_path):
+        block = np.random.default_rng(0).normal(size=(16, 16))
+        with BlockStorage.create(
+            tmp_path / "b.rblk", slot_size=block.nbytes
+        ) as storage:
+            slot = storage.append(block.tobytes())
+            out = np.frombuffer(storage.read_slot(slot), dtype=float)
+            assert np.array_equal(out.reshape(16, 16), block)
+
+    def test_stats_payload(self, tmp_path):
+        with BlockStorage.create(tmp_path / "b.rblk", slot_size=8) as storage:
+            storage.append(b"12345678")
+            stats = storage.stats()
+            assert stats["slot_size"] == 8
+            assert stats["n_slots"] == 1
+            assert stats["slots_written"] == 1
+            # Framed bytes: the 8-byte payload plus its length + crc header.
+            assert stats["bytes_written"] == 8 + RECORD_OVERHEAD
+            assert stats["file_bytes"] == os.path.getsize(tmp_path / "b.rblk")
+
+    def test_open_requires_existing_file(self, tmp_path):
+        with pytest.raises(StorageError, match="does not exist"):
+            BlockStorage.open(tmp_path / "missing.rblk")
+
+    def test_create_atomically_replaces(self, tmp_path):
+        path = tmp_path / "b.rblk"
+        with BlockStorage.create(path, slot_size=8) as storage:
+            storage.append(b"stale")
+        with BlockStorage.create(path, slot_size=8) as storage:
+            assert storage.n_slots == 0  # replaced, not appended to
+
+    def test_slot_size_mismatch_on_open(self, tmp_path):
+        path = tmp_path / "b.rblk"
+        BlockStorage.create(path, slot_size=8).close()
+        with pytest.raises(StorageError, match="slot_size"):
+            BlockStorage.open(path, slot_size=16)
+
+
+class TestBlockStorageCrashPaths:
+    """Mirror of the PR 7 WAL fuzz suite for the slotted block file."""
+
+    def _filled(self, path, slot_size=24, n_slots=6):
+        storage = BlockStorage.create(path, slot_size=slot_size)
+        payloads = [
+            bytes([k + 1]) * (k % slot_size + 1) for k in range(n_slots)
+        ]
+        for payload in payloads:
+            storage.append(payload)
+        storage.close()
+        return payloads
+
+    def test_every_truncation_offset_of_final_slot_recovers_prefix(
+        self, tmp_path
+    ):
+        path = tmp_path / "b.rblk"
+        payloads = self._filled(path)
+        data = path.read_bytes()
+        stride = RECORD_OVERHEAD + 24
+        last_start = HEADER_SIZE + (len(payloads) - 1) * stride
+        # The last slot is valid once its header + payload + crc are on
+        # disk; the trailing slot padding is immaterial.
+        payload_end = last_start + RECORD_OVERHEAD + len(payloads[-1])
+        for cut in range(last_start, len(data)):
+            path.write_bytes(data[:cut])
+            with BlockStorage.open(path) as storage:
+                expect = len(payloads) - 1 if cut < payload_end else len(payloads)
+                assert storage.valid_slot_count() == expect, cut
+                for k in range(expect):
+                    assert storage.read_slot(k) == payloads[k]
+                if expect == len(payloads) - 1 and storage.n_slots > expect:
+                    with pytest.raises(TruncatedRecord):
+                        storage.read_slot(len(payloads) - 1)
+        path.write_bytes(data)  # restore for tmp_path hygiene
+
+    def test_flipped_payload_byte_detected_by_slot_crc(self, tmp_path):
+        path = tmp_path / "b.rblk"
+        payloads = self._filled(path)
+        data = bytearray(path.read_bytes())
+        stride = RECORD_OVERHEAD + 24
+        victim = 2
+        flip_at = HEADER_SIZE + victim * stride + RECORD_OVERHEAD  # 1st payload byte
+        data[flip_at] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with BlockStorage.open(path) as storage:
+            with pytest.raises(StorageCorruptionError, match="checksum"):
+                storage.read_slot(victim)
+            # Neighbouring slots are independent: still readable.
+            assert storage.read_slot(victim - 1) == payloads[victim - 1]
+            assert storage.read_slot(victim + 1) == payloads[victim + 1]
+            assert storage.valid_slot_count() == victim
+
+    def test_impossible_slot_length_is_corruption(self, tmp_path):
+        path = tmp_path / "b.rblk"
+        self._filled(path)
+        data = bytearray(path.read_bytes())
+        data[HEADER_SIZE : HEADER_SIZE + 4] = (10**6).to_bytes(4, "little")
+        path.write_bytes(bytes(data))
+        with BlockStorage.open(path) as storage:
+            with pytest.raises(StorageCorruptionError, match="impossible"):
+                storage.read_slot(0)
+
+    def test_second_concurrent_writer_rejected(self, tmp_path):
+        path = tmp_path / "b.rblk"
+        storage = BlockStorage.create(path, slot_size=8)
+        with pytest.raises(StorageError, match="another writer"):
+            BlockStorage.open(path)
+        storage.close()
+        BlockStorage.open(path).close()  # lock released on close
+
+    def test_corrupt_header_magic_raises(self, tmp_path):
+        path = tmp_path / "b.rblk"
+        self._filled(path)
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(StorageCorruptionError, match="not a block file"):
+            BlockStorage.open(path)
+
+    def test_future_format_version_rejected(self, tmp_path):
+        path = tmp_path / "b.rblk"
+        header = json.dumps(
+            {"format": BLOCKFILE_FORMAT_VERSION + 1, "slot_size": 8}
+        ).encode("ascii")
+        blob = b"RBLK" + encode_record(header)
+        path.write_bytes(blob + b"\x00" * (HEADER_SIZE - len(blob)))
+        with pytest.raises(StorageError, match="format"):
+            BlockStorage.open(path)
+
+
+class TestStoreGoldenFixture:
+    """The store's v2 files through `repro.storage` match the pre-refactor bytes."""
+
+    def _write_reference_store(self, directory):
+        from repro.store.warehouse import AnswerStore
+
+        store = AnswerStore(directory, n_shards=3, n_records=64, sync="always")
+        store.add_votes([5, 6, 7, 5, -8], [True, False, True, True, False])
+        store.add_votes([9, 10, 5], [False, False, True])
+        store.flush()
+        store._shards[0].compact()
+        store.close()
+
+    def test_v2_files_byte_identical_to_golden(self, tmp_path):
+        golden = json.loads(FIXTURE.read_text())
+        self._write_reference_store(tmp_path)
+        for rel, expected_hex in sorted(golden["files"].items()):
+            actual = (tmp_path / rel).read_bytes()
+            assert actual.hex() == expected_hex, rel
+        # And nothing extra appeared on disk.
+        on_disk = sorted(
+            str(p.relative_to(tmp_path))
+            for p in tmp_path.rglob("*")
+            if p.is_file()
+        )
+        assert on_disk == sorted(golden["files"])
