@@ -61,10 +61,19 @@ run_bench() {
     echo "== bench smoke: pytest benchmarks -q -k 'smoke or batch' =="
     # Includes benchmarks/test_store_scale_smoke.py (the sharded warehouse
     # must serve warm strictly faster than the direct oracle and clear the
-    # cold-append throughput floor) and benchmarks/test_incremental_smoke.py
+    # cold-append throughput floor), benchmarks/test_incremental_smoke.py
     # (the incremental difftest acceptance cell: bit-identical to batch and
-    # >= 10x cheaper per update at n = 5000).
+    # >= 10x cheaper per update at n = 5000) and
+    # benchmarks/test_obs_overhead_smoke.py (the disabled observability
+    # fast path must cost <= 2% of the store_scale cold cell).
     python -m pytest benchmarks -q -s -k "smoke or batch" --benchmark-disable
+    echo "== obs sample trace: seeded service run + summarize round trip =="
+    # Mirrors the CI artifact step: write a trace, prove it summarizes.
+    python -m repro.service --sessions 4 --queries 25 \
+        --latency-ms 0 --window-ms 0 --seed 0 \
+        --metrics --trace-out obs-sample-trace.jsonl >/dev/null
+    python -m repro.obs summarize obs-sample-trace.jsonl >/dev/null
+    rm -f obs-sample-trace.jsonl
     echo "== bench suite: python -m repro.bench run --quick =="
     # Writes BENCH_scaling.json + BENCH_batch.json + BENCH_service.json (the
     # crowd-service throughput/latency suite) + BENCH_store.json (the answer

@@ -21,6 +21,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.bench.report import write_bench_report
 from repro.bench.runner import run_cells
 from repro.bench.specs import BENCH_SUITES, iter_bench_specs, plan_cells
@@ -54,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed-base", type=int, default=0, help="base seed the cell seeds derive from"
     )
     p_run.add_argument("--quiet", action="store_true", help="no per-cell progress lines")
+    p_run.add_argument(
+        "--obs",
+        action="store_true",
+        help="record repro.obs metrics while measuring; each cell row carries "
+        "its registry snapshot and the suite payload an aggregated one",
+    )
 
     p_list = sub.add_parser("list", help="list specs and the cells they expand to")
     p_list.add_argument("--quick", action="store_true", help="expand the quick grids")
@@ -62,6 +69,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
+    if args.obs:
+        obs.enable()
     suites = args.suite or list(BENCH_SUITES)
     for suite in suites:
         cells = plan_cells(

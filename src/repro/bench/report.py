@@ -15,12 +15,14 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import sys
 from pathlib import Path
-from typing import Any, Dict, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.bench.runner import BenchOutcome
 from repro.serialization import json_safe
 
@@ -37,6 +39,27 @@ def _environment() -> Dict[str, str]:
     }
 
 
+def _git_sha() -> Optional[str]:
+    """Short sha of the commit the suite ran against, or ``None``.
+
+    ``REPRO_GIT_SHA`` overrides (CI sets it; detached/worktree checkouts
+    where ``git`` is unavailable can too), otherwise ask git directly.
+    """
+    sha = os.environ.get("REPRO_GIT_SHA")
+    if sha:
+        return sha.strip()
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else None
+
+
 def _drop_none(mapping: Dict[str, Any]) -> Dict[str, Any]:
     """Strip ``None``-valued columns: a metric a cell does not have is
     omitted from the artifact, never emitted as ``null``."""
@@ -45,7 +68,7 @@ def _drop_none(mapping: Dict[str, Any]) -> Dict[str, Any]:
 
 def outcome_row(outcome: BenchOutcome) -> Dict[str, Any]:
     """Flatten one outcome into an artifact cell row."""
-    return {
+    row = {
         "algorithm": outcome.cell.algorithm,
         "params": json_safe(dict(outcome.cell.params)),
         "seed": int(outcome.cell.seed),
@@ -55,21 +78,35 @@ def outcome_row(outcome: BenchOutcome) -> Dict[str, Any]:
         "peak_traced_mb": round(outcome.peak_traced_mb, 3),
         "rss_max_mb": round(outcome.rss_max_mb, 3),
     }
+    if outcome.obs:
+        # Present only on observed runs, so default artifacts diff cleanly.
+        row["obs"] = json_safe(outcome.obs)
+    return row
 
 
 def bench_payload(
     suite: str, outcomes: Sequence[BenchOutcome], quick: bool
 ) -> Dict[str, Any]:
-    """Full artifact payload for one suite."""
-    return {
+    """Full artifact payload for one suite.
+
+    The payload is rendered with sorted keys, so every column added here —
+    including the ``git_sha`` stamp and the optional ``obs`` summary —
+    lands at a stable position and committed artifacts diff minimally.
+    """
+    payload: Dict[str, Any] = {
         "schema": BENCH_SCHEMA_VERSION,
         "suite": suite,
         "quick": bool(quick),
         "generated_by": "python -m repro.bench run" + (" --quick" if quick else ""),
         "environment": _environment(),
+        "git_sha": _git_sha(),
         "n_cells": len(outcomes),
         "cells": [outcome_row(o) for o in outcomes],
     }
+    registry = obs.get_registry()
+    if registry is not None:
+        payload["obs"] = json_safe(registry.snapshot())
+    return payload
 
 
 def write_bench_report(

@@ -20,9 +20,10 @@ import resource
 import sys
 import time
 import tracemalloc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.bench.specs import BenchCell, get_bench_spec
 
 #: Callback signature: (finished outcome, n_done, n_total).
@@ -45,6 +46,9 @@ class BenchOutcome:
     wall_seconds: float
     peak_traced_mb: float
     rss_max_mb: float
+    #: Per-cell obs registry snapshot; empty unless the suite ran with
+    #: observation enabled (``python -m repro.bench run --obs``).
+    obs: Dict[str, Any] = field(default_factory=dict)
 
 
 def _rss_max_mb() -> float:
@@ -55,13 +59,27 @@ def _rss_max_mb() -> float:
 
 
 def measure_cell(cell: BenchCell) -> BenchOutcome:
-    """Run one cell under tracemalloc and a wall clock."""
+    """Run one cell under tracemalloc and a wall clock.
+
+    With observation enabled, the cell runs under an isolated
+    :func:`repro.obs.capture` registry so its snapshot is a per-cell delta;
+    the snapshot is folded back into the global registry afterwards and also
+    attached to the outcome (and, from there, to the ``BENCH_*.json`` row).
+    """
     runner = get_bench_spec(cell.algorithm).runner
     gc.collect()
+    obs_snapshot: Dict[str, Any] = {}
     tracemalloc.start()
     started = time.perf_counter()
     try:
-        metrics = runner(**cell.kwargs())
+        if obs.enabled():
+            with obs.capture() as registry:
+                with obs.span("bench.cell", subsystem="bench", algorithm=cell.algorithm):
+                    metrics = runner(**cell.kwargs())
+                obs_snapshot = registry.snapshot()
+            obs.merge_snapshot(obs_snapshot)
+        else:
+            metrics = runner(**cell.kwargs())
         peak_traced = tracemalloc.get_traced_memory()[1]
     finally:
         tracemalloc.stop()
@@ -74,6 +92,7 @@ def measure_cell(cell: BenchCell) -> BenchOutcome:
         wall_seconds=time.perf_counter() - started,
         peak_traced_mb=peak_traced / (1024 * 1024),
         rss_max_mb=_rss_max_mb(),
+        obs=obs_snapshot,
     )
 
 

@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.engine.cache import ResultCache
 from repro.engine.hashing import CACHE_SCHEMA_VERSION, canonical_params
 from repro.engine.planner import SweepTask
@@ -98,17 +99,34 @@ def _experiment_result():
     return ExperimentResult
 
 
-def execute_task(experiment: str, params: Dict[str, Any], seed: int) -> Tuple[dict, float]:
-    """Run one task in the current process; returns (result payload, seconds).
+def execute_task(
+    experiment: str, params: Dict[str, Any], seed: int, collect_obs: bool = False
+) -> Tuple[dict, float, Optional[dict]]:
+    """Run one task in the current process; returns (payload, seconds, obs).
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it by reference;
-    also the serial path, so both paths share one code route.
+    also the serial path, so both paths share one code route.  With
+    *collect_obs* the task runs under an isolated :func:`repro.obs.capture`
+    registry whose snapshot rides back as the third element — a plain dict,
+    so it crosses the process boundary through the normal pickle plumbing
+    and the parent can merge it (this is what keeps worker-process metrics
+    from being silently lost in multi-process sweeps).
     """
     load_builtin_specs()
     spec = get_spec(experiment)
-    start = time.perf_counter()
-    result = spec.runner(seed=seed, **params)
-    return result.to_dict(), time.perf_counter() - start
+    if not collect_obs:
+        start = time.perf_counter()
+        result = spec.runner(seed=seed, **params)
+        return result.to_dict(), time.perf_counter() - start, None
+    with obs.capture() as registry:
+        with obs.span("engine.task", subsystem="engine", experiment=experiment, seed=seed):
+            start = time.perf_counter()
+            result = spec.runner(seed=seed, **params)
+            elapsed = time.perf_counter() - start
+        registry.inc("engine.tasks", experiment=experiment)
+        registry.observe("engine.task_seconds", elapsed, experiment=experiment)
+        snapshot = registry.snapshot()
+    return result.to_dict(), elapsed, snapshot
 
 
 def _payload(task: SweepTask, key: str, result_dict: dict, elapsed: float) -> dict:
@@ -177,18 +195,21 @@ def run_sweep(
     slots: List[Optional[TaskOutcome]] = [None] * total
     pending: List[int] = []
 
+    collect = obs.enabled()
     done = 0
     for index, (task, key) in enumerate(zip(tasks, keys)):
         payload = None if (cache is None or force) else cache.get(task.experiment, key)
         if payload is not None:
             slots[index] = _outcome_from_payload(task, key, payload, cached=True)
             done += 1
+            obs.inc("engine.cache_hits", experiment=task.experiment)
             if progress:
                 progress(slots[index], done, total)
         else:
             pending.append(index)
+            obs.inc("engine.cache_misses", experiment=task.experiment)
 
-    def finish(index: int, result_dict: dict, elapsed: float) -> None:
+    def finish(index: int, result_dict: dict, elapsed: float, snapshot: Optional[dict]) -> None:
         nonlocal done
         task, key = tasks[index], keys[index]
         payload = _payload(task, key, result_dict, elapsed)
@@ -196,19 +217,29 @@ def run_sweep(
             cache.put(task.experiment, key, payload)
         slots[index] = _outcome_from_payload(task, key, payload, cached=False)
         done += 1
+        if snapshot is not None:
+            # Worker-process (or captured serial) metrics fold into the
+            # global registry here: counters add, histograms merge bucket-wise.
+            obs.merge_snapshot(snapshot)
         if progress:
             progress(slots[index], done, total)
 
     if jobs == 1 or len(pending) <= 1:
         for index in pending:
             task = tasks[index]
-            result_dict, elapsed = execute_task(task.experiment, dict(task.params), task.seed)
-            finish(index, result_dict, elapsed)
+            result_dict, elapsed, snapshot = execute_task(
+                task.experiment, dict(task.params), task.seed, collect_obs=collect
+            )
+            finish(index, result_dict, elapsed, snapshot)
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = {
                 pool.submit(
-                    execute_task, tasks[i].experiment, dict(tasks[i].params), tasks[i].seed
+                    execute_task,
+                    tasks[i].experiment,
+                    dict(tasks[i].params),
+                    tasks[i].seed,
+                    collect,
                 ): i
                 for i in pending
             }
@@ -216,8 +247,8 @@ def run_sweep(
             while remaining:
                 completed, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in completed:
-                    result_dict, elapsed = future.result()
-                    finish(futures[future], result_dict, elapsed)
+                    result_dict, elapsed, snapshot = future.result()
+                    finish(futures[future], result_dict, elapsed, snapshot)
 
     report = SweepReport(
         outcomes=[slot for slot in slots if slot is not None],

@@ -48,6 +48,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import InvalidParameterError
 from repro.metric.distances import cross_distances
 from repro.storage import BlockStorage
@@ -122,6 +123,7 @@ class BlockLRUCache:
         while len(self._blocks) > self.max_blocks:
             evicted_key, evicted = self._blocks.popitem(last=False)
             self.evictions += 1
+            obs.inc("metric.block_evictions")
             if self.on_evict is not None:
                 self.on_evict(evicted_key, evicted)
 
@@ -238,6 +240,7 @@ class LazyBlockBackend:
             )
         self.cache.put(key, block)
         self.materialized_blocks += 1
+        obs.inc("metric.blocks_materialized")
         return block
 
     def _compute_direct(
@@ -419,6 +422,7 @@ class DiskBlockBackend(LazyBlockBackend):
         payload = np.ascontiguousarray(block, dtype=float).tobytes()
         self._block_slot[key] = self._block_file.append(payload)
         self.spills += 1
+        obs.inc("metric.spills")
 
     def _get_block(self, key: Tuple[int, int]) -> Optional[np.ndarray]:
         block = self.cache.get(key)
@@ -432,6 +436,7 @@ class DiskBlockBackend(LazyBlockBackend):
             return None
         block = np.frombuffer(payload, dtype=float).reshape(self._block_shape(key))
         self.reloads += 1
+        obs.inc("metric.reloads")
         # Re-admit to the cache; the eviction this may trigger is a no-op
         # write (the evicted block is already on disk).
         self.cache.put(key, block)
@@ -448,6 +453,7 @@ class DiskBlockBackend(LazyBlockBackend):
         if payload is None:  # pragma: no cover - slots are written before mapped
             return None
         self.reloads += 1
+        obs.inc("metric.reloads")
         return np.frombuffer(payload, dtype=float)
 
     def _store_row(self, i: int, row: np.ndarray) -> None:

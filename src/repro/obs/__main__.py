@@ -1,0 +1,74 @@
+"""Trace-analysis CLI for the observability layer.
+
+Examples
+--------
+Summarize a JSONL trace (per-subsystem p50/p95/p99, hot spans, counters)::
+
+    python -m repro.obs summarize trace.jsonl
+
+The same as machine-readable JSON, or with a longer hot-span table::
+
+    python -m repro.obs summarize trace.jsonl --json
+    python -m repro.obs summarize trace.jsonl --top 50
+
+Traces are produced by the ``--trace-out PATH`` flag of
+``python -m repro.service`` / ``python -m repro.store stats``, or
+programmatically via :meth:`repro.obs.trace.Tracer.dump_jsonl`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.obs.summary import render_summary, summarize_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Analyse JSONL traces written by the repro.obs tracer.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_sum = sub.add_parser(
+        "summarize", help="print per-subsystem latency quantiles and counters"
+    )
+    p_sum.add_argument("trace", help="path to a JSONL trace file")
+    p_sum.add_argument(
+        "--top", type=int, default=20, help="rows in the hot-span table (default 20)"
+    )
+    p_sum.add_argument("--json", action="store_true", help="machine-readable output")
+    return parser
+
+
+def _cmd_summarize(args) -> int:
+    try:
+        summary = summarize_trace(args.trace)
+    except FileNotFoundError:
+        print(f"error: no such trace file: {args.trace}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as error:
+        print(f"error: malformed trace line in {args.trace}: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary, top=args.top), end="")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return {"summarize": _cmd_summarize}[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

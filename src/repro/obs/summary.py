@@ -1,0 +1,169 @@
+"""Trace analysis: per-subsystem latency quantiles, hot spans, counters.
+
+Turns a JSONL trace (written by :meth:`repro.obs.trace.Tracer.dump_jsonl`)
+into the tables rendered by ``python -m repro.obs summarize``: exact
+per-subsystem and per-span p50/p95/p99 over span durations, a hot-span
+table ranked by total time, and counter/gauge summaries from the trailing
+metrics snapshot, if present.
+
+Quantiles here are exact (computed from the raw durations in the trace),
+unlike the bucket-resolution quantiles of the live histogram registry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from pathlib import Path
+
+from .trace import load_trace
+
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+def exact_quantile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of *values* (0..1); 0.0 for an empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def summarize_events(events: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Aggregate trace events into subsystem/span stats plus metrics.
+
+    Returns a dict with:
+
+    * ``subsystems`` — per-subsystem span count, total seconds, p50/p95/p99;
+    * ``spans`` — the same keyed by ``subsystem.name``, ranked by total time;
+    * ``metrics`` — the trailing metrics snapshot, or ``None``.
+    """
+    by_subsystem: Dict[str, List[float]] = {}
+    by_span: Dict[str, List[float]] = {}
+    metrics: Optional[Dict[str, Any]] = None
+    for event in events:
+        kind = event.get("type")
+        if kind == "metrics":
+            metrics = dict(event.get("snapshot", {}))
+            continue
+        if kind not in ("span", "event"):
+            continue
+        dur = float(event.get("dur", 0.0))
+        subsystem = str(event.get("subsystem", "app"))
+        name = str(event.get("name", "?"))
+        if not name.startswith(f"{subsystem}."):
+            name = f"{subsystem}.{name}"
+        by_subsystem.setdefault(subsystem, []).append(dur)
+        by_span.setdefault(name, []).append(dur)
+
+    def rows(groups: Dict[str, List[float]]) -> List[Dict[str, Any]]:
+        out = []
+        for key, durs in groups.items():
+            row: Dict[str, Any] = {
+                "key": key,
+                "count": len(durs),
+                "total_seconds": sum(durs),
+            }
+            for q in QUANTILES:
+                row[f"p{int(q * 100)}"] = exact_quantile(durs, q)
+            out.append(row)
+        out.sort(key=lambda r: (-r["total_seconds"], r["key"]))
+        return out
+
+    return {
+        "subsystems": rows(by_subsystem),
+        "spans": rows(by_span),
+        "metrics": metrics,
+    }
+
+
+def summarize_trace(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load the JSONL trace at *path* and return :func:`summarize_events`."""
+    return summarize_events(load_trace(path))
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def render_summary(summary: Mapping[str, Any], top: int = 20) -> str:
+    """Render a :func:`summarize_events` result as human-readable tables."""
+    sections: List[str] = []
+
+    subsystems = summary.get("subsystems", [])
+    if subsystems:
+        rows = [
+            [
+                r["key"],
+                str(r["count"]),
+                _fmt_seconds(r["total_seconds"]),
+                _fmt_seconds(r["p50"]),
+                _fmt_seconds(r["p95"]),
+                _fmt_seconds(r["p99"]),
+            ]
+            for r in subsystems
+        ]
+        sections.append(
+            "Per-subsystem latency\n"
+            + _table(["subsystem", "spans", "total", "p50", "p95", "p99"], rows)
+        )
+
+    spans = summary.get("spans", [])[:top]
+    if spans:
+        rows = [
+            [
+                r["key"],
+                str(r["count"]),
+                _fmt_seconds(r["total_seconds"]),
+                _fmt_seconds(r["p50"]),
+                _fmt_seconds(r["p95"]),
+                _fmt_seconds(r["p99"]),
+            ]
+            for r in spans
+        ]
+        sections.append(
+            "Hot spans (by total time)\n"
+            + _table(["span", "count", "total", "p50", "p95", "p99"], rows)
+        )
+
+    metrics = summary.get("metrics")
+    if metrics:
+        counters = metrics.get("counters", {})
+        if counters:
+            rows = [[k, str(v)] for k, v in sorted(counters.items())]
+            sections.append("Counters\n" + _table(["counter", "value"], rows))
+        gauges = metrics.get("gauges", {})
+        if gauges:
+            rows = [[k, f"{v:g}"] for k, v in sorted(gauges.items())]
+            sections.append("Gauges\n" + _table(["gauge", "value"], rows))
+        hists = metrics.get("histograms", {})
+        if hists:
+            rows = []
+            for key, payload in sorted(hists.items()):
+                count = int(payload.get("count", 0))
+                total = float(payload.get("sum", 0.0))
+                mean = total / count if count else 0.0
+                rows.append([key, str(count), _fmt_seconds(total), _fmt_seconds(mean)])
+            sections.append(
+                "Histograms\n" + _table(["histogram", "count", "sum", "mean"], rows)
+            )
+
+    if not sections:
+        return "empty trace: no spans or metrics found\n"
+    return "\n\n".join(sections) + "\n"

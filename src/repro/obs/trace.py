@@ -1,0 +1,185 @@
+"""Span-based tracer emitting structured JSONL trace events.
+
+A :class:`Tracer` records spans — named, tagged intervals with a subsystem,
+a span id, and a parent id — into an in-memory list that can be dumped as
+one JSON object per line.  Two injection points make traces deterministic
+under test:
+
+* the **clock** is any zero-argument callable returning monotonic seconds
+  (defaults to :func:`time.perf_counter`); a fake incrementing clock makes
+  ``ts``/``dur`` reproducible;
+* **span ids** come from a seeded :class:`numpy.random.Generator` via
+  :func:`repro.rng.ensure_rng`, never ``uuid4`` or wall clock, so a seeded
+  run always assigns the same ids in the same order.
+
+Parent tracking uses a :class:`contextvars.ContextVar`, so nesting works
+across ``await`` boundaries in the asyncio service as well as in plain
+synchronous code.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from ..rng import SeedLike, ensure_rng
+from ..serialization import json_safe
+
+_current_span: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class Span:
+    """One traced interval; use as a context manager via :meth:`Tracer.span`."""
+
+    __slots__ = ("tracer", "name", "subsystem", "tags", "span_id", "parent_id",
+                 "start", "_token")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        subsystem: str,
+        tags: Dict[str, Any],
+        span_id: str,
+        parent_id: Optional[str],
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.subsystem = subsystem
+        self.tags = tags
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = 0.0
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> "Span":
+        self.start = self.tracer.clock()
+        self._token = _current_span.set(self.span_id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = self.tracer.clock()
+        if self._token is not None:
+            _current_span.reset(self._token)
+        if exc_type is not None:
+            self.tags["error"] = exc_type.__name__
+        self.tracer._record(self, end)
+
+
+class Tracer:
+    """Collects spans and dumps them as JSONL trace events.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning monotonic seconds.  Inject a fake
+        for deterministic timestamps.
+    seed:
+        Seed for the span-id generator.  The same seed yields the same id
+        sequence, which is what makes seeded traces byte-identical.
+    """
+
+    def __init__(self, clock=None, seed: SeedLike = 0):
+        self.clock = clock if clock is not None else time.perf_counter
+        self._rng = ensure_rng(seed)
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+
+    def _next_id(self) -> str:
+        with self._lock:
+            return f"{int(self._rng.integers(0, 2**63)):016x}"
+
+    def span(self, name: str, subsystem: str = "app", **tags: Any) -> Span:
+        """Open a span; enter the returned object as a context manager."""
+        return Span(
+            tracer=self,
+            name=name,
+            subsystem=subsystem,
+            tags=tags,
+            span_id=self._next_id(),
+            parent_id=_current_span.get(),
+        )
+
+    def _record(self, span: Span, end: float) -> None:
+        event = {
+            "type": "span",
+            "name": span.name,
+            "subsystem": span.subsystem,
+            "span": span.span_id,
+            "parent": span.parent_id,
+            "ts": span.start,
+            "dur": end - span.start,
+            "tags": json_safe(span.tags),
+        }
+        with self._lock:
+            self._events.append(event)
+
+    def event(self, name: str, subsystem: str = "app", **tags: Any) -> None:
+        """Record an instantaneous (zero-duration) point event."""
+        now = self.clock()
+        payload = {
+            "type": "event",
+            "name": name,
+            "subsystem": subsystem,
+            "span": self._next_id(),
+            "parent": _current_span.get(),
+            "ts": now,
+            "dur": 0.0,
+            "tags": json_safe(tags),
+        }
+        with self._lock:
+            self._events.append(payload)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Return a copy of all recorded events, in recording order."""
+        with self._lock:
+            return list(self._events)
+
+    def dump_jsonl(
+        self,
+        path: Union[str, Path],
+        metrics: Optional[Mapping[str, Any]] = None,
+    ) -> Path:
+        """Write all events to *path*, one JSON object per line.
+
+        When *metrics* (a registry snapshot) is given, a final
+        ``{"type": "metrics", ...}`` line carries it, so one file holds the
+        whole observation.  Keys are sorted so equal traces are equal bytes.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [
+            json.dumps(event, sort_keys=True, separators=(",", ":"))
+            for event in self.events()
+        ]
+        if metrics is not None:
+            lines.append(
+                json.dumps(
+                    {"type": "metrics", "snapshot": json_safe(dict(metrics))},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            )
+        path.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+        return path
+
+
+def load_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read a JSONL trace file back into a list of event dicts.
+
+    Blank lines are skipped; malformed lines raise ``json.JSONDecodeError``
+    so corruption is loud rather than silently dropped.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -187,6 +187,23 @@ class QueryCounter:
                     self.cached_by_tag.get(tag, 0) + cached_recorded
                 )
 
+    def fold_into(self, registry, name: str = "oracle", **labels) -> None:
+        """Fold this counter into a :class:`repro.obs.MetricsRegistry`.
+
+        Emits the total/charged/cached counts plus per-tag breakdowns under
+        *name*-prefixed counters (e.g. ``oracle.charged_queries``), carrying
+        any extra *labels* (such as ``backend="comparison"``).  Counters add
+        on repeated folds, so fold each :class:`QueryCounter` exactly once —
+        typically at the end of a run, when the counter is final.
+        """
+        registry.inc(f"{name}.total_queries", self.total_queries, **labels)
+        registry.inc(f"{name}.charged_queries", self.charged_queries, **labels)
+        registry.inc(f"{name}.cached_queries", self.cached_queries, **labels)
+        for tag, count in sorted(self.by_tag.items()):
+            registry.inc(f"{name}.queries", count, tag=tag, **labels)
+        for tag, count in sorted(self.cached_by_tag.items()):
+            registry.inc(f"{name}.cached", count, tag=tag, **labels)
+
     def reset(self) -> None:
         """Zero all counters (the budget is kept)."""
         self.total_queries = 0

@@ -27,6 +27,7 @@ import asyncio
 import sys
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.exceptions import InvalidParameterError, StoreError
 from repro.oracles.comparison import ValueComparisonOracle
 from repro.oracles.counting import QueryCounter
@@ -83,10 +84,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="every session issues the same seeded query stream (hot-content "
         "pattern; maximises cross-session warehouse hits)",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="record repro.obs metrics during the run and print the registry "
+        "in Prometheus text exposition format afterwards",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record repro.obs spans and write a JSONL trace to PATH "
+        "(analyse it with `python -m repro.obs summarize PATH`)",
+    )
     return parser
 
 
 async def _run(args) -> int:
+    registry = tracer = None
+    if args.metrics or args.trace_out:
+        # Span ids derive from the run seed, so a seeded run writes the same
+        # id sequence every time (the determinism the trace tests pin down).
+        registry, tracer = obs.enable(trace=args.trace_out is not None, seed=args.seed)
     values = ensure_rng(args.seed).uniform(0.0, 100.0, size=args.records)
     backend = ValueComparisonOracle(values, counter=QueryCounter())
     config = ServiceConfig(
@@ -153,6 +172,16 @@ async def _run(args) -> int:
             "served from the warehouse)"
         )
     print(f"backend: {backend.counter.summary()}")
+    if tracer is not None:
+        path = tracer.dump_jsonl(
+            args.trace_out,
+            metrics=registry.snapshot() if registry is not None else None,
+        )
+        print(f"obs: wrote {len(tracer.events())} trace event(s) to {path}")
+    if args.metrics and registry is not None:
+        print(registry.exposition(), end="")
+    if registry is not None or tracer is not None:
+        obs.disable()
     return 0
 
 

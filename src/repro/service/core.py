@@ -48,11 +48,13 @@ flushes the store's group-commit buffer so acknowledged answers are durable.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import (
     InvalidParameterError,
     QueryBudgetExceededError,
@@ -334,6 +336,17 @@ class CrowdOracleService:
                 leftover.future.set_exception(
                     ServiceClosedError("crowd-oracle service stopped")
                 )
+        if obs.enabled():
+            # Fold the backend oracles' QueryCounters into the registry so
+            # charged-vs-cached per tag shows up next to the service metrics.
+            registry = obs.get_registry()
+            for kind, backend in (
+                (KIND_COMPARISON, self.comparison),
+                (KIND_QUADRUPLET, self.quadruplet),
+            ):
+                counter = getattr(backend, "counter", None)
+                if counter is not None:
+                    counter.fold_into(registry, name="oracle", backend=kind)
         if self.store is not None:
             # Pay any group-commit fsync still pending, so every answer the
             # service acknowledged is durable when the service is.
@@ -356,6 +369,7 @@ class CrowdOracleService:
     ) -> ServiceSession:
         """Open a session with its own :class:`QueryCounter` (optional budget)."""
         self._session_counter += 1
+        obs.inc("service.sessions_opened")
         if name is None:
             name = f"session-{self._session_counter}"
         return ServiceSession(
@@ -368,13 +382,28 @@ class CrowdOracleService:
         if not self._running:
             raise ServiceClosedError("crowd-oracle service is not running")
         self._backend_for(request.kind)  # validate the kind up front
+        if obs.disabled():
+            await self._queue.put(request)
+            self.stats.n_requests += 1
+            self.stats.n_queries += request.n
+            self.stats.max_pending_seen = max(
+                self.stats.max_pending_seen, self._queue.qsize()
+            )
+            return await request.future
+        start = time.perf_counter()
+        if self._queue.full():
+            obs.inc("service.backpressure_stalls")
         await self._queue.put(request)
         self.stats.n_requests += 1
         self.stats.n_queries += request.n
-        self.stats.max_pending_seen = max(
-            self.stats.max_pending_seen, self._queue.qsize()
-        )
-        return await request.future
+        depth = self._queue.qsize()
+        self.stats.max_pending_seen = max(self.stats.max_pending_seen, depth)
+        obs.gauge_max("service.max_pending", depth)
+        result = await request.future
+        # Dispatch→answer latency as the session experiences it: queue wait,
+        # batching window, backend compute, and the simulated round trip.
+        obs.observe("service.request_seconds", time.perf_counter() - start)
+        return result
 
     def _backend_for(self, kind: str):
         backend = self.comparison if kind == KIND_COMPARISON else self.quadruplet
@@ -412,6 +441,7 @@ class CrowdOracleService:
                 break
             batch = [first]
             size = first.n
+            cause = "size"  # falling out of the while condition means the batch filled
             deadline = loop.time() + self.config.batch_window
             while size < self.config.max_batch_size:
                 remaining = deadline - loop.time()
@@ -422,6 +452,7 @@ class CrowdOracleService:
                     try:
                         item = self._queue.get_nowait()
                     except asyncio.QueueEmpty:
+                        cause = "window"
                         break
                 else:
                     try:
@@ -430,9 +461,13 @@ class CrowdOracleService:
                         continue  # re-check: drains opportunistically, then breaks
                 if item is None:
                     stopping = True
+                    cause = "shutdown"
                     break
                 batch.append(item)
                 size += item.n
+            if obs.enabled():
+                obs.inc("service.flushes", cause=cause)
+                obs.observe("service.batch_size", size, buckets=obs.DEFAULT_SIZE_BUCKETS)
             await self._inflight.acquire()
             self._inflight_count += 1
             self.stats.max_inflight_seen = max(
@@ -447,6 +482,11 @@ class CrowdOracleService:
         self.stats.n_batches += 1
         self.stats.n_dispatched_queries += size
         self.stats.max_batch_size_seen = max(self.stats.max_batch_size_seen, size)
+        with obs.span("service.batch", subsystem="service", size=size), \
+                obs.timer("service.batch_seconds"):
+            await self._run_batch_inner(batch, size)
+
+    async def _run_batch_inner(self, batch: List[_Request], size: int) -> None:
         try:
             if self.store is not None:
                 before_votes = self.store.n_votes

@@ -28,6 +28,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.exceptions import InvalidParameterError, StoreError
 from repro.store import format as fmt
 from repro.store.warehouse import AnswerStore
@@ -55,6 +56,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="replication factor used when counting resolved keys (default 1)",
     )
+    p_stats.add_argument(
+        "--metrics",
+        action="store_true",
+        help="record repro.obs metrics while opening the store and print the "
+        "registry in Prometheus text exposition format",
+    )
+    p_stats.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record repro.obs spans (store open, compactions) and write a "
+        "JSONL trace to PATH",
+    )
 
     p_compact = sub.add_parser(
         "compact", help="fold every shard's WAL into a snapshot and truncate the logs"
@@ -81,10 +95,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_stats(args) -> int:
+    registry = tracer = None
+    if args.metrics or args.trace_out:
+        registry, tracer = obs.enable(trace=args.trace_out is not None)
     with AnswerStore(args.dir, replication=args.replication) as store:
         stats = store.stats()
+    if tracer is not None:
+        path = tracer.dump_jsonl(
+            args.trace_out,
+            metrics=registry.snapshot() if registry is not None else None,
+        )
+        print(f"obs: wrote {len(tracer.events())} trace event(s) to {path}", file=sys.stderr)
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
+        if args.metrics and registry is not None:
+            print(registry.exposition(), end="", file=sys.stderr)
+        obs.disable()
         return 0
     print(
         f"store {stats['directory']} (format v{stats['format']}, "
@@ -107,6 +133,9 @@ def _cmd_stats(args) -> int:
                 f"wal {row['wal_bytes']} B, snapshot {row['snapshot_bytes']} B, "
                 f"on disk {row['disk_bytes']} B"
             )
+    if args.metrics and registry is not None:
+        print(registry.exposition(), end="")
+    obs.disable()
     return 0
 
 

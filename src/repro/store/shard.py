@@ -47,6 +47,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import StoreCorruptionError, StoreError
 from repro.storage import write_file_atomic
 from repro.store import format as fmt
@@ -233,7 +234,8 @@ class StoreShard:
         handle = self.wal_path.open("ab")
         if fcntl is not None:
             try:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                with obs.timer("store.lock_wait_seconds", shard=self.shard):
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
             except OSError:
                 handle.close()
                 raise StoreError(
@@ -284,8 +286,10 @@ class StoreShard:
         answers_arr = np.asarray(answers, dtype=bool)
         handle = self.ensure_writable()
         payload = fmt.encode_votes(self.last_seq + 1, codes_arr, answers_arr)
-        handle.write(payload)
-        handle.flush()
+        with obs.timer("store.wal_append_seconds", shard=self.shard):
+            handle.write(payload)
+            handle.flush()
+        obs.inc("store.appended_votes", n, shard=self.shard)
         self.last_seq += n
         self._loaded_bytes += len(payload)
         self.n_appends += n
@@ -345,7 +349,9 @@ class StoreShard:
 
     def _fsync(self) -> None:
         if self._fh is not None:
-            os.fsync(self._fh.fileno())
+            with obs.timer("store.fsync_seconds", shard=self.shard):
+                os.fsync(self._fh.fileno())
+            obs.inc("store.fsyncs", shard=self.shard)
             self.n_fsyncs += 1
             self._dirty_since = None
 
@@ -365,19 +371,22 @@ class StoreShard:
         lock is never released mid-compaction and no other writer can slip
         an append into the window between snapshot and truncate.
         """
-        handle = self.ensure_writable()
-        payload = fmt.encode_shard_snapshot(
-            self.shard, self.n_shards, self.last_seq, self.votes
-        )
-        write_file_atomic(self.snapshot_path, payload)
-        header = fmt.encode_shard_header(self.shard, self.n_shards).encode("utf-8")
-        handle.truncate(0)
-        handle.write(header)
-        handle.flush()
-        os.fsync(handle.fileno())
-        self._loaded_bytes = len(header)
-        self._dirty_since = None
-        self.appends_since_compact = 0
+        with obs.span("store.compact", subsystem="store", shard=self.shard), \
+                obs.timer("store.compact_seconds", shard=self.shard):
+            handle = self.ensure_writable()
+            payload = fmt.encode_shard_snapshot(
+                self.shard, self.n_shards, self.last_seq, self.votes
+            )
+            write_file_atomic(self.snapshot_path, payload)
+            header = fmt.encode_shard_header(self.shard, self.n_shards).encode("utf-8")
+            handle.truncate(0)
+            handle.write(header)
+            handle.flush()
+            os.fsync(handle.fileno())
+            self._loaded_bytes = len(header)
+            self._dirty_since = None
+            self.appends_since_compact = 0
+        obs.inc("store.compactions", shard=self.shard)
 
     def close(self) -> None:
         """Sync and release the WAL handle (and with it the writer lock)."""

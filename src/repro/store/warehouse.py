@@ -50,6 +50,7 @@ try:  # POSIX advisory locking; absent on some platforms (best-effort guard).
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None
 
+from repro import obs
 from repro.exceptions import InvalidParameterError, StoreError
 from repro.storage import write_file_atomic
 from repro.store import format as fmt
@@ -185,6 +186,10 @@ class AnswerStore:
     # -- opening / migration ---------------------------------------------------
 
     def _open(self) -> None:
+        with obs.span("store.open", subsystem="store"), obs.timer("store.open_seconds"):
+            self._open_inner()
+
+    def _open_inner(self) -> None:
         manifest = self.manifest_path
         if not manifest.exists() and fmt.is_v1_layout(self.directory):
             self._migrate_v1()
@@ -469,6 +474,9 @@ class AnswerStore:
         # returns cached bool singletons, so neither pass allocates per key.
         hits = np.fromiter(map(index.__contains__, code_list), dtype=bool, count=m)
         n_hits = int(hits.sum())
+        if obs.enabled():
+            obs.inc("store.lookup_hits", n_hits)
+            obs.inc("store.lookup_misses", m - n_hits)
         if n_hits == m:  # warm path: every key resolved
             answers = np.fromiter(map(index.__getitem__, code_list), dtype=bool, count=m)
             return hits, answers

@@ -1,0 +1,396 @@
+"""Unit tests for the observability layer: registry, tracer, exporters, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.exceptions import InvalidParameterError
+from repro.obs.metrics import Histogram, MetricsRegistry, parse_key, render_key
+from repro.obs.summary import exact_quantile, render_summary, summarize_events, summarize_trace
+from repro.obs.trace import Tracer, load_trace
+from repro.obs.__main__ import main as obs_main
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Keep the global obs state from leaking between tests."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class FakeClock:
+    """Deterministic monotonic clock: advances a fixed step per call."""
+
+    def __init__(self, step: float = 0.001):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        now = self.now
+        self.now += self.step
+        return now
+
+
+# -- key rendering -------------------------------------------------------------
+
+
+def test_render_and_parse_key_roundtrip():
+    key = render_key("store.fsyncs", {"shard": 3, "mode": "group"})
+    assert key == 'store.fsyncs{mode="group",shard="3"}'
+    name, labels = parse_key(key)
+    assert name == "store.fsyncs"
+    assert labels == {"mode": "group", "shard": "3"}
+
+
+def test_render_key_without_labels_is_bare_name():
+    assert render_key("service.batches", {}) == "service.batches"
+    assert parse_key("service.batches") == ("service.batches", {})
+
+
+def test_render_key_escapes_quotes():
+    key = render_key("m", {"tag": 'say "hi"'})
+    _, labels = parse_key(key)
+    assert labels == {"tag": 'say "hi"'}
+
+
+# -- histogram -----------------------------------------------------------------
+
+
+def test_histogram_observe_and_counts():
+    hist = Histogram(buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 1.7, 3.0, 100.0):
+        hist.observe(value)
+    assert hist.counts == [1, 2, 1, 1]  # (..1], (1..2], (2..4], overflow
+    assert hist.count == 5
+    assert hist.sum == pytest.approx(106.7)
+
+
+def test_histogram_merge_bucketwise():
+    a = Histogram(buckets=(1.0, 2.0))
+    b = Histogram(buckets=(1.0, 2.0))
+    a.observe(0.5)
+    b.observe(1.5)
+    b.observe(10.0)
+    a.merge(b)
+    assert a.counts == [1, 1, 1]
+    assert a.count == 3
+    assert a.sum == pytest.approx(12.0)
+
+
+def test_histogram_merge_rejects_mismatched_buckets():
+    a = Histogram(buckets=(1.0, 2.0))
+    b = Histogram(buckets=(1.0, 3.0))
+    with pytest.raises(InvalidParameterError):
+        a.merge(b)
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(InvalidParameterError):
+        Histogram(buckets=(2.0, 1.0))
+
+
+def test_histogram_roundtrips_through_dict():
+    hist = Histogram(buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(5.0)
+    clone = Histogram.from_dict(hist.to_dict())
+    assert clone.counts == hist.counts
+    assert clone.sum == hist.sum
+    assert clone.count == hist.count
+    assert clone.buckets == hist.buckets
+
+
+def test_histogram_quantile_bucket_resolution():
+    hist = Histogram(buckets=(1.0, 2.0, 4.0))
+    for _ in range(99):
+        hist.observe(0.5)
+    hist.observe(3.0)
+    assert hist.quantile(0.5) == 1.0
+    assert hist.quantile(1.0) == 4.0
+    assert Histogram().quantile(0.5) == 0.0
+    with pytest.raises(InvalidParameterError):
+        hist.quantile(1.5)
+
+
+# -- registry ------------------------------------------------------------------
+
+
+def test_registry_counters_gauges_histograms():
+    reg = MetricsRegistry()
+    reg.inc("a.hits")
+    reg.inc("a.hits", 4)
+    reg.inc("a.hits", 2, shard=1)
+    reg.gauge_set("a.depth", 3.0)
+    reg.gauge_max("a.peak", 5.0)
+    reg.gauge_max("a.peak", 2.0)  # lower: ignored
+    reg.observe("a.seconds", 0.01)
+    snap = reg.snapshot()
+    assert snap["counters"] == {"a.hits": 5, 'a.hits{shard="1"}': 2}
+    assert snap["gauges"] == {"a.depth": 3.0, "a.peak": 5.0}
+    assert snap["histograms"]["a.seconds"]["count"] == 1
+    assert reg.counter_value("a.hits") == 5
+    assert reg.counter_value("a.hits", shard=1) == 2
+    assert reg.counter_value("a.never") == 0
+
+
+def test_registry_events_counts_every_recording():
+    reg = MetricsRegistry()
+    reg.inc("x")
+    reg.gauge_set("y", 1)
+    reg.gauge_max("y", 2)
+    reg.observe("z", 0.1)
+    assert reg.events == 4
+
+
+def test_registry_merge_semantics():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.inc("hits", 3)
+    b.inc("hits", 4)
+    b.inc("misses", 1)
+    a.gauge_max("peak", 10.0)
+    b.gauge_max("peak", 7.0)
+    a.observe("lat", 0.5)
+    b.observe("lat", 0.7)
+    b.observe("other", 1.0)
+    a.merge(b.snapshot())
+    snap = a.snapshot()
+    assert snap["counters"] == {"hits": 7, "misses": 1}
+    assert snap["gauges"] == {"peak": 10.0}  # max wins
+    assert snap["histograms"]["lat"]["count"] == 2
+    assert snap["histograms"]["other"]["count"] == 1
+
+
+def test_merge_snapshots_helper():
+    regs = [MetricsRegistry() for _ in range(3)]
+    for i, reg in enumerate(regs):
+        reg.inc("n", i + 1)
+    combined = obs.merge_snapshots([r.snapshot() for r in regs])
+    assert combined["counters"]["n"] == 6
+
+
+def test_exposition_format():
+    reg = MetricsRegistry()
+    reg.inc("store.hits", 7, shard=0)
+    reg.gauge_set("queue.depth", 3)
+    reg.observe("req.seconds", 0.002, buckets=(0.001, 0.01))
+    text = reg.exposition()
+    assert '# TYPE repro_store_hits counter' in text
+    assert 'repro_store_hits{shard="0"} 7' in text
+    assert "repro_queue_depth 3" in text
+    # Histogram series are cumulative with an +Inf terminal bucket.
+    assert 'repro_req_seconds_bucket{le="0.001"} 0' in text
+    assert 'repro_req_seconds_bucket{le="0.01"} 1' in text
+    assert 'repro_req_seconds_bucket{le="+Inf"} 1' in text
+    assert "repro_req_seconds_count 1" in text
+
+
+# -- global no-op fast path ----------------------------------------------------
+
+
+def test_disabled_helpers_are_noops():
+    assert obs.disabled()
+    obs.inc("x")
+    obs.observe("y", 1.0)
+    obs.gauge_set("z", 1.0)
+    obs.gauge_max("z", 2.0)
+    with obs.span("s", subsystem="t"):
+        pass
+    with obs.timer("w"):
+        pass
+    assert obs.get_registry() is None
+    assert obs.get_tracer() is None
+
+
+def test_disabled_span_returns_shared_singleton():
+    assert obs.span("a") is obs.span("b")
+    assert obs.timer("a") is obs.span("b")
+
+
+def test_enable_disable_cycle():
+    registry, tracer = obs.enable(trace=True, seed=1)
+    assert obs.enabled()
+    assert obs.get_registry() is registry
+    assert obs.get_tracer() is tracer
+    obs.inc("n")
+    assert registry.counter_value("n") == 1
+    obs.disable()
+    assert obs.disabled()
+    obs.inc("n")  # no-op again
+    assert registry.counter_value("n") == 1
+
+
+def test_timer_records_into_histogram():
+    registry, _ = obs.enable()
+    with obs.timer("block.seconds", shard=2):
+        pass
+    snap = registry.snapshot()
+    assert snap["histograms"]['block.seconds{shard="2"}']["count"] == 1
+
+
+def test_capture_isolates_and_restores():
+    outer, _ = obs.enable()
+    obs.inc("n", 1)
+    with obs.capture() as inner:
+        obs.inc("n", 10)
+        assert obs.get_registry() is inner
+    assert obs.get_registry() is outer
+    assert outer.counter_value("n") == 1
+    assert inner.counter_value("n") == 10
+    obs.merge_snapshot(inner.snapshot())
+    assert outer.counter_value("n") == 11
+
+
+def test_capture_restores_on_error():
+    outer, _ = obs.enable()
+    with pytest.raises(RuntimeError):
+        with obs.capture():
+            raise RuntimeError("boom")
+    assert obs.get_registry() is outer
+
+
+# -- tracer --------------------------------------------------------------------
+
+
+def test_tracer_records_nested_spans_with_parents():
+    tracer = Tracer(clock=FakeClock(), seed=7)
+    with tracer.span("outer", subsystem="svc", size=4):
+        with tracer.span("inner", subsystem="store"):
+            pass
+    events = tracer.events()
+    assert [e["name"] for e in events] == ["inner", "outer"]  # closed order
+    inner, outer = events
+    assert outer["parent"] is None
+    assert inner["parent"] == outer["span"]
+    assert outer["tags"] == {"size": 4}
+    assert inner["dur"] == pytest.approx(0.001)
+    assert outer["dur"] == pytest.approx(0.003)
+
+
+def test_tracer_span_ids_are_seeded_not_wallclock():
+    ids_a = [Tracer(seed=42).span("s", "x").span_id for _ in range(1)]
+    ids_b = [Tracer(seed=42).span("s", "x").span_id for _ in range(1)]
+    assert ids_a == ids_b
+    assert Tracer(seed=1).span("s", "x").span_id != Tracer(seed=2).span("s", "x").span_id
+
+
+def test_tracer_marks_error_spans():
+    tracer = Tracer(clock=FakeClock())
+    with pytest.raises(ValueError):
+        with tracer.span("broken", subsystem="svc"):
+            raise ValueError("nope")
+    (event,) = tracer.events()
+    assert event["tags"]["error"] == "ValueError"
+
+
+def test_tracer_point_events():
+    tracer = Tracer(clock=FakeClock())
+    tracer.event("tick", subsystem="svc", n=1)
+    (event,) = tracer.events()
+    assert event["type"] == "event"
+    assert event["dur"] == 0.0
+    assert event["tags"] == {"n": 1}
+
+
+def test_dump_and_load_roundtrip(tmp_path):
+    tracer = Tracer(clock=FakeClock(), seed=0)
+    with tracer.span("a", subsystem="svc"):
+        pass
+    reg = MetricsRegistry()
+    reg.inc("n", 5)
+    path = tracer.dump_jsonl(tmp_path / "trace.jsonl", metrics=reg.snapshot())
+    events = load_trace(path)
+    assert [e["type"] for e in events] == ["span", "metrics"]
+    assert events[1]["snapshot"]["counters"] == {"n": 5}
+
+
+# -- summary + CLI -------------------------------------------------------------
+
+
+def test_exact_quantile():
+    values = list(range(1, 101))
+    assert exact_quantile(values, 0.5) == 51  # nearest-rank on 0..99 ranks
+    assert exact_quantile(values, 0.0) == 1
+    assert exact_quantile(values, 1.0) == 100
+    assert exact_quantile([], 0.5) == 0.0
+
+
+def test_summarize_events_groups_by_subsystem_and_span():
+    tracer = Tracer(clock=FakeClock(step=0.01), seed=3)
+    for _ in range(3):
+        with tracer.span("batch", subsystem="service"):
+            pass
+    with tracer.span("fsync", subsystem="store"):
+        pass
+    summary = summarize_events(tracer.events())
+    subsystems = {row["key"]: row for row in summary["subsystems"]}
+    assert subsystems["service"]["count"] == 3
+    assert subsystems["store"]["count"] == 1
+    spans = {row["key"]: row for row in summary["spans"]}
+    assert spans["service.batch"]["count"] == 3
+    assert spans["service.batch"]["p50"] == pytest.approx(0.01)
+    # Ranked by total time descending.
+    assert summary["spans"][0]["total_seconds"] >= summary["spans"][-1]["total_seconds"]
+
+
+def test_summarize_trace_and_render(tmp_path):
+    tracer = Tracer(clock=FakeClock(), seed=0)
+    with tracer.span("cell", subsystem="bench"):
+        pass
+    reg = MetricsRegistry()
+    reg.inc("bench.cells", 1)
+    reg.gauge_set("bench.peak", 2.5)
+    reg.observe("bench.seconds", 0.1)
+    path = tracer.dump_jsonl(tmp_path / "t.jsonl", metrics=reg.snapshot())
+    summary = summarize_trace(path)
+    text = render_summary(summary)
+    assert "bench.cell" in text
+    assert "bench.cells" in text
+    assert "p95" in text
+    assert "Gauges" in text
+    assert "Histograms" in text
+
+
+def test_render_summary_empty():
+    assert "empty trace" in render_summary(summarize_events([]))
+
+
+def test_obs_cli_summarize(tmp_path, capsys):
+    tracer = Tracer(clock=FakeClock(), seed=0)
+    with tracer.span("batch", subsystem="service"):
+        pass
+    path = tracer.dump_jsonl(tmp_path / "t.jsonl")
+    assert obs_main(["summarize", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "service.batch" in out
+    assert "p99" in out
+
+
+def test_obs_cli_summarize_json(tmp_path, capsys):
+    tracer = Tracer(clock=FakeClock(), seed=0)
+    with tracer.span("batch", subsystem="service"):
+        pass
+    path = tracer.dump_jsonl(tmp_path / "t.jsonl")
+    assert obs_main(["summarize", str(path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["subsystems"][0]["key"] == "service"
+
+
+def test_obs_cli_missing_file(tmp_path, capsys):
+    assert obs_main(["summarize", str(tmp_path / "nope.jsonl")]) == 1
+    assert "no such trace file" in capsys.readouterr().err
+
+
+def test_obs_cli_malformed_trace(tmp_path, capsys):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("{not json}\n", encoding="utf-8")
+    assert obs_main(["summarize", str(path)]) == 1
+    assert "malformed" in capsys.readouterr().err
+
+
+def test_obs_cli_no_command(capsys):
+    assert obs_main([]) == 2
